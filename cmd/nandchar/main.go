@@ -1,0 +1,66 @@
+// Command nandchar regenerates the device-characterization figures of
+// the RiF paper from the calibrated NAND reliability model: the
+// retention-until-retry distributions (Fig. 4) and the intra-page
+// chunk RBER similarity (Fig. 12).
+//
+// Usage:
+//
+//	nandchar -fig 4  [-blocks 300]
+//	nandchar -fig 12 [-pages 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fit"
+	"repro/internal/nand"
+)
+
+func main() {
+	fig := flag.Int("fig", 4, "figure to regenerate: 4 or 12 (0 = calibration fit)")
+	blocks := flag.Int("blocks", 300, "blocks sampled per condition (fig 4)")
+	pages := flag.Int("pages", 2000, "pages sampled per condition (fig 12)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	switch *fig {
+	case 0:
+		res, err := fit.Calibrate(nand.DefaultModelParams(), fit.PaperTargets(), fit.Options{Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nandchar:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Calibration — fitting the Vth model to the Fig. 4 frontier")
+		fmt.Printf("RMSLE = %.4f over %d evaluations\n", res.RMSLE, res.Evaluations)
+		got := fit.CrossingDays(res.Params, fit.PaperTargets(), *seed)
+		fmt.Printf("%8s %10s %10s\n", "P/E", "target", "fitted")
+		for i, t := range fit.PaperTargets() {
+			fmt.Printf("%8d %9.1fd %9.1fd\n", t.PECycles, t.CrossDays, got[i])
+		}
+		fmt.Printf("fitted knobs: RetentionShift=%.1f PEShiftBoost=%.3f PEWiden=%.3f\n",
+			res.Params.RetentionShift, res.Params.PEShiftBoost, res.Params.PEWiden)
+
+	case 4:
+		p := core.DefaultFig4Params()
+		p.Blocks = *blocks
+		p.Seed = *seed
+		cells := core.Fig4(p, nil)
+		fmt.Println("Fig. 4 — retention time until RBER exceeds the ECC capability")
+		fmt.Print(core.FormatFig4(cells, p.MaxDays))
+		fmt.Println("paper onsets: 17d @0 P/E, 14d @200, 10d @500, 8d @1000")
+
+	case 12:
+		pts := core.Fig12(*seed, *pages)
+		fmt.Println("Fig. 12 — RBER similarity among fixed-size chunks of a 16-KiB page")
+		fmt.Print(core.FormatFig12(pts))
+		fmt.Printf("worst spreads: 4K=%.1f%% 2K=%.1f%% 1K=%.1f%% (paper: 4.5%% / ~8%% / 13.5%%)\n",
+			100*core.MaxSpreadFor(pts, 4), 100*core.MaxSpreadFor(pts, 2), 100*core.MaxSpreadFor(pts, 1))
+
+	default:
+		fmt.Fprintf(os.Stderr, "nandchar: unknown figure %d\n", *fig)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,216 @@
+// Command rifsim runs the SSD-level experiments of the RiF paper:
+// the bandwidth comparisons (Figs. 6 and 17), the channel-usage
+// breakdown (Fig. 18), the read-latency tails (Fig. 19), the
+// execution timelines (Figs. 7 and 8) and the §VI-C overhead study.
+//
+// Usage:
+//
+//	rifsim -fig 17 [-requests 3000] [-seed 1] [-full]
+//	rifsim -fig 18
+//	rifsim -fig 19
+//	rifsim -fig 6
+//	rifsim -fig 7        # timelines, includes Fig. 8's RiF case
+//	rifsim -fig overhead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "17", "experiment: 6, 7, 17, 18, 19 or overhead")
+	requests := flag.Int("requests", 3000, "host requests per simulation run")
+	seed := flag.Uint64("seed", 1, "random seed")
+	full := flag.Bool("full", false, "simulate the full 2-TiB array instead of a shrunken one")
+	flag.Parse()
+
+	p := core.DefaultRunParams()
+	p.Requests = *requests
+	p.Seed = *seed
+	p.Shrink = !*full
+
+	if err := run(*fig, p); err != nil {
+		fmt.Fprintln(os.Stderr, "rifsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, p core.RunParams) error {
+	switch fig {
+	case "6":
+		tbl, err := core.Fig6(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 6 — SSDone vs SSDzero I/O bandwidth (MB/s)")
+		for _, pe := range core.PaperPECycles {
+			fmt.Printf("%dK P/E:\n", pe/1000)
+			for _, w := range []string{"Ali121", "Ali124", "Sys0", "Sys1"} {
+				zero := tbl.Get(ssd.Zero, w, pe)
+				one := tbl.Get(ssd.One, w, pe)
+				fmt.Printf("  %-8s SSDzero=%6.0f  SSDone=%6.0f  (%+.1f%%)\n",
+					w, zero, one, 100*(one/zero-1))
+			}
+		}
+		return nil
+
+	case "7", "8":
+		results, err := core.Timelines()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figs. 7/8 — 256-KiB read execution timelines")
+		fmt.Print(core.FormatTimelines(results))
+		for _, scheme := range []ssd.Scheme{ssd.Zero, ssd.One, ssd.RiF} {
+			gantt, err := core.TimelineGantt(scheme)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n%v (1 column = 5us; lowercase = retry):\n%s", scheme, gantt)
+		}
+		return nil
+
+	case "17":
+		tbl, err := core.Fig17(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 17 — I/O bandwidth normalized to SENC")
+		fmt.Print(tbl.Format(ssd.Sentinel, ssd.AllSchemes(), trace.Names()))
+		for _, pe := range core.PaperPECycles {
+			fmt.Printf("RiF over SENC at %dK P/E: %+.1f%% (paper: +23.8/+47.4/+72.1%%)\n",
+				pe/1000, 100*tbl.GeoMeanGain(ssd.RiF, ssd.Sentinel, pe))
+		}
+		var bars []plot.Bar
+		for _, s := range ssd.AllSchemes() {
+			bars = append(bars, plot.Bar{
+				Label: s.String(),
+				Value: 1 + tbl.GeoMeanGain(s, ssd.Sentinel, 2000),
+			})
+		}
+		fmt.Println()
+		fmt.Print(plot.HBar("geomean bandwidth vs SENC at 2K P/E", bars, 50))
+		return nil
+
+	case "18":
+		cells, err := core.Fig18(p, []ssd.Scheme{ssd.Sentinel, ssd.SWR, ssd.SWRPlus, ssd.RPOnly, ssd.RiF})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 18 — channel usage breakdown")
+		fmt.Print(core.FormatUsage(cells))
+		return nil
+
+	case "19":
+		curves, err := core.Fig19(p, []ssd.Scheme{ssd.Sentinel, ssd.SWR, ssd.SWRPlus, ssd.RPOnly, ssd.RiF})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 19 — Ali124 read-latency percentiles")
+		fmt.Print(core.FormatLatency(curves))
+		for _, pe := range core.PaperPECycles {
+			var series []plot.Series
+			for _, c := range curves {
+				if c.PECycles != pe {
+					continue
+				}
+				s := plot.Series{Name: c.Scheme.String()}
+				for _, pt := range c.CDF {
+					s.Points = append(s.Points, plot.XY{X: pt.X / 1000, Y: pt.F})
+				}
+				series = append(series, s)
+			}
+			fmt.Println()
+			fmt.Print(plot.Chart(
+				fmt.Sprintf("CDF of read latency (ms), %dK P/E cycles", pe/1000),
+				series, 64, 14))
+		}
+		return nil
+
+	case "overhead":
+		o, err := core.OverheadStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("§VI-C — RP module overhead")
+		fmt.Print(o.Format())
+		return nil
+
+	case "ablate-chunk":
+		pts, err := core.AblateChunkSize(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation — RP chunk size (paper picks 4 KiB, §V-A1)")
+		fmt.Print(core.FormatChunkAblation(pts))
+		return nil
+
+	case "ablate-buffer":
+		pts, err := core.AblateECCBuffer(p, ssd.One)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation — channel ECC buffer depth (SSDone at 2K P/E)")
+		fmt.Print(core.FormatBufferAblation(pts))
+		return nil
+
+	case "ablate-accuracy":
+		pts, err := core.AblateAccuracy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation — RP accuracy floor (RiF at 2K P/E)")
+		fmt.Print(core.FormatAccuracyAblation(pts))
+		return nil
+
+	case "ablate-scheduling":
+		pts, err := core.AblateDieScheduling(p, []ssd.Scheme{ssd.One, ssd.RiF})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation — die scheduling policy (Sys0 at 2K P/E)")
+		fmt.Print(core.FormatScheduling(pts))
+		return nil
+
+	case "refresh":
+		pts, err := core.AblateRefreshHorizon(p, ssd.One, 1000)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Study — refresh horizon vs read performance (SSDone at 1K P/E)")
+		fmt.Print(core.FormatRefresh(pts))
+		return nil
+
+	case "tenants":
+		results, err := core.MultiTenantStudy(p,
+			[]ssd.Scheme{ssd.Sentinel, ssd.SWR, ssd.RiF}, 2000)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Study — multi-queue tenant isolation at 2K P/E")
+		fmt.Print(core.FormatMultiTenant(results))
+		return nil
+
+	case "ablate-secondcheck":
+		res, err := core.AblateSecondCheck(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation — footnote-4 second RP pass (RiF at 3K P/E)")
+		_, _, u0, _ := res.Without.Channels.Fractions()
+		_, _, u1, _ := res.With.Channels.Fractions()
+		fmt.Printf("without: %7.0f MB/s, uncor %.2f%%, avoided %d\n",
+			res.Without.Bandwidth(), 100*u0, res.Without.AvoidedTransfers)
+		fmt.Printf("with:    %7.0f MB/s, uncor %.2f%%, avoided %d\n",
+			res.With.Bandwidth(), 100*u1, res.With.AvoidedTransfers)
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", fig)
+}

@@ -1,0 +1,61 @@
+// Datapath: drive the functional RiF-enabled chip end to end on real
+// bits — program a page, age it, and watch the ODEAR engine rescue it
+// without an off-chip retry, versus the conventional chip that must
+// ship the doomed page and loop through the controller.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	rif "repro"
+)
+
+func main() {
+	run := func(odear bool) *rif.PageReadStats {
+		cfg := rif.DefaultChipConfig()
+		cfg.ODEAR = odear
+		dev, err := rif.NewChip(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl := rif.NewChipController(cfg.Code)
+
+		// Program a page of random data.
+		rng := rand.New(rand.NewPCG(42, 0))
+		data := make([]byte, cfg.PageBytes)
+		for i := range data {
+			data[i] = byte(rng.UintN(256))
+		}
+		addr := rif.PageAddr{Plane: 0, Block: 0, Page: 2} // an MSB page
+		if err := dev.Program(addr, data); err != nil {
+			log.Fatal(err)
+		}
+
+		// Read it back after three weeks of retention at 2K P/E:
+		// well past the retry onset.
+		cond := rif.ChipCondition{PECycles: 2000, RetentionDays: 21}
+		stats, err := ctrl.ReadPage(dev, addr, cond, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !stats.OK || !bytes.Equal(stats.Data, data) {
+			log.Fatalf("odear=%v: data not recovered", odear)
+		}
+		return stats
+	}
+
+	conv := run(false)
+	rifd := run(true)
+
+	fmt.Println("Reading a 21-day-old page at 2K P/E (recovered byte-exactly in both cases):")
+	fmt.Printf("%-22s %8s %10s %16s %12s\n", "chip", "senses", "transfers", "off-chip retries", "LDPC iters")
+	fmt.Printf("%-22s %8d %10d %16d %12d\n", "conventional", conv.Senses, conv.Transfers, conv.OffChipRetries, conv.Iterations)
+	fmt.Printf("%-22s %8d %10d %16d %12d\n", "RiF-enabled (ODEAR)", rifd.Senses, rifd.Transfers, rifd.OffChipRetries, rifd.Iterations)
+	fmt.Println()
+	fmt.Println("The RiF chip re-reads in-die after its syndrome-weight check, so the")
+	fmt.Println("channel carries one decodable transfer instead of a doomed one plus a retry —")
+	fmt.Println("the mechanism behind the Fig. 8 timeline and the Fig. 17/18 gains.")
+}

@@ -1,0 +1,46 @@
+// Fleetcompare: sweep every read-retry scheme across workloads and
+// wear states and print a Fig. 17-style normalized bandwidth table —
+// the experiment a storage architect would run to decide whether
+// RiF-enabled flash is worth the die change.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rif "repro"
+)
+
+func main() {
+	p := rif.DefaultRunParams()
+	p.Requests = 1500 // keep the demo quick; raise for tighter numbers
+
+	// A representative slice of Table II: the two most read-intensive
+	// cloud traces plus one mixed and one write-heavy trace.
+	workloads := []string{"Ali124", "Sys0", "Ali81", "Ali2"}
+
+	tbl, err := rif.CompareSchemes(p, rif.AllSchemes(), workloads, rif.PaperPECycles())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, pe := range rif.PaperPECycles() {
+		fmt.Printf("== %dK P/E cycles — bandwidth normalized to SENC ==\n", pe/1000)
+		fmt.Printf("%-8s", "scheme")
+		for _, w := range workloads {
+			fmt.Printf("%9s", w)
+		}
+		fmt.Println()
+		for _, s := range rif.AllSchemes() {
+			fmt.Printf("%-8s", s)
+			for _, w := range workloads {
+				base := tbl.Get(rif.SENC, w, pe)
+				fmt.Printf("%9.2f", tbl.Get(s, w, pe)/base)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("RiF over SENC (geomean): %+.1f%%\n\n",
+			100*tbl.GeoMeanGain(rif.RiFSSD, rif.SENC, pe))
+	}
+	fmt.Println("paper (all 8 workloads): +23.8% @0K, +47.4% @1K, +72.1% @2K")
+}

@@ -1,0 +1,58 @@
+// Retrystudy: exercise the code-level machinery behind the ODEAR
+// engine — measure the QC-LDPC decoder's capability cliff, the
+// syndrome-weight correlation that makes the read-retry predictor
+// possible, and the predictor's accuracy with and without the
+// hardware approximations (Figs. 3, 10, 11 and 14 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rif "repro"
+)
+
+func main() {
+	p := rif.DefaultCodeParams()
+	p.Samples = 120 // per RBER point; raise for smoother curves
+
+	const capability = 0.0085 // the 4-KiB LDPC correction capability
+
+	// Fig. 3: the decoder works until the capability, then falls off
+	// a cliff while iteration counts (and hence tECC) explode.
+	fmt.Println("-- LDPC capability (Fig. 3) --")
+	for _, pt := range rif.LDPCCapability(p, []float64{0.004, 0.006, 0.008, 0.0085, 0.010}) {
+		fmt.Printf("  RBER %.4f: P(fail)=%.3f avg iterations=%.1f\n",
+			pt.RBER, pt.FailureProb, pt.AvgIters)
+	}
+
+	// Fig. 10: syndrome weight tracks RBER tightly, which is what
+	// lets a threshold test (rhoS) stand in for a full decode.
+	fmt.Println("-- syndrome-weight correlation (Fig. 10) --")
+	points, rhoFull, rhoPruned := rif.SyndromeCorrelation(p, []float64{0.004, 0.0085, 0.013})
+	for _, pt := range points {
+		fmt.Printf("  RBER %.4f: full weight=%.0f pruned weight=%.0f\n",
+			pt.RBER, pt.AvgFullWeight, pt.AvgPrunedWeight)
+	}
+	fmt.Printf("  rhoS: full=%d pruned=%d (paper: 3830 for the 4-KiB code)\n", rhoFull, rhoPruned)
+
+	// Figs. 11 and 14: prediction accuracy, exact vs hardware form.
+	fmt.Println("-- RP accuracy --")
+	full := rif.RPAccuracy(p, nil, false)
+	approx := rif.RPAccuracy(p, nil, true)
+	fmt.Printf("  mean accuracy above capability, full syndromes:   %.3f (paper 0.991)\n",
+		rif.MeanAccuracyAbove(full, capability))
+	fmt.Printf("  mean accuracy above capability, chunked + pruned: %.3f (paper 0.987)\n",
+		rif.MeanAccuracyAbove(approx, capability))
+
+	// And the end-to-end payoff: the Figs. 7/8 timelines.
+	fmt.Println("-- 256-KiB read timelines (Figs. 7/8) --")
+	timelines, err := rif.Timelines()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tl := range timelines {
+		fmt.Printf("  %-8s %6.1fus (paper %.0fus)\n",
+			tl.Scheme, tl.Total.Microseconds(), tl.PaperUS)
+	}
+}

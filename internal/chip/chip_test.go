@@ -1,0 +1,269 @@
+package chip
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ldpc"
+)
+
+func newTestChip(t *testing.T, odear bool) (*Chip, *Controller) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.ODEAR = odear
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, NewController(cfg.Code)
+}
+
+func randomPage(t *testing.T, c *Chip, seed uint64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0))
+	data := make([]byte, c.cfg.PageBytes)
+	for i := range data {
+		data[i] = byte(rng.UintN(256))
+	}
+	return data
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Planes = 0 },
+		func(c *Config) { c.Code = nil },
+		func(c *Config) { c.Model = nil },
+		func(c *Config) { c.PageBytes = 1000 }, // not a codeword multiple
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCleanRoundTrip(t *testing.T) {
+	c, ctrl := newTestChip(t, true)
+	addr := PageAddr{Plane: 1, Block: 2, Page: 3}
+	data := randomPage(t, c, 1)
+	if err := c.Program(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ctrl.ReadPage(c, addr, Condition{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.OK {
+		t.Fatal("fresh page failed to decode")
+	}
+	if !bytes.Equal(stats.Data, data) {
+		t.Fatal("recovered data differs from programmed data")
+	}
+	if stats.Senses != 1 || stats.Transfers != 1 || stats.InDieRetried {
+		t.Fatalf("fresh read cost wrong: %+v", stats)
+	}
+}
+
+func TestStressedPageRecoveredByODEAR(t *testing.T) {
+	// A retention-stressed page on a RiF chip: the ODEAR engine must
+	// detect it on-die, re-read internally, and the single transfer
+	// must decode byte-exactly — the whole point of the design.
+	c, ctrl := newTestChip(t, true)
+	addr := PageAddr{Plane: 0, Block: 0, Page: 2} // MSB page
+	data := randomPage(t, c, 2)
+	if err := c.Program(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	cond := Condition{PECycles: 2000, RetentionDays: 20}
+	stats, err := ctrl.ReadPage(c, addr, cond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.OK || !bytes.Equal(stats.Data, data) {
+		t.Fatal("stressed page not recovered")
+	}
+	if !stats.InDieRetried {
+		t.Fatal("ODEAR engine did not catch a stressed page")
+	}
+	if stats.OffChipRetries != 0 {
+		t.Fatalf("RiF read needed %d off-chip retries", stats.OffChipRetries)
+	}
+	if stats.Transfers != 1 {
+		t.Fatalf("RiF read used %d transfers, want 1", stats.Transfers)
+	}
+	if stats.Senses != 2 {
+		t.Fatalf("RiF read used %d senses, want 2", stats.Senses)
+	}
+}
+
+func TestStressedPageOnConventionalChip(t *testing.T) {
+	// The same stress on a conventional chip: the first transfer
+	// fails off-chip and a retry loop is needed — still byte-exact in
+	// the end, but with the extra channel crossing RiF avoids.
+	c, ctrl := newTestChip(t, false)
+	addr := PageAddr{Plane: 0, Block: 0, Page: 2}
+	data := randomPage(t, c, 3)
+	if err := c.Program(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	cond := Condition{PECycles: 2000, RetentionDays: 20}
+	stats, err := ctrl.ReadPage(c, addr, cond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.OK || !bytes.Equal(stats.Data, data) {
+		t.Fatal("conventional retry failed to recover the page")
+	}
+	if stats.OffChipRetries == 0 {
+		t.Fatal("conventional chip skipped the off-chip retry")
+	}
+	if stats.Transfers < 2 {
+		t.Fatalf("conventional read used %d transfers, want >= 2", stats.Transfers)
+	}
+}
+
+func TestStatusRegister(t *testing.T) {
+	c, _ := newTestChip(t, true)
+	addr := PageAddr{Plane: 0, Block: 1, Page: 2}
+	if err := c.Program(addr, randomPage(t, c, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(addr, Condition{}); err != nil {
+		t.Fatal(err)
+	}
+	if p, r := c.LastStatus(); p || r {
+		t.Fatal("status set after clean read")
+	}
+	if _, err := c.Read(addr, Condition{PECycles: 2000, RetentionDays: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if p, r := c.LastStatus(); !p || !r {
+		t.Fatal("status not set after stressed read")
+	}
+}
+
+func TestODEARDisabledNeverRetriesInDie(t *testing.T) {
+	c, _ := newTestChip(t, false)
+	addr := PageAddr{Plane: 0, Block: 0, Page: 1}
+	if err := c.Program(addr, randomPage(t, c, 5)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Read(addr, Condition{PECycles: 2000, RetentionDays: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retried || res.Predicted || res.Senses != 1 {
+		t.Fatalf("conventional chip ran ODEAR: %+v", res)
+	}
+}
+
+func TestReadUnwrittenPageFails(t *testing.T) {
+	c, _ := newTestChip(t, true)
+	if _, err := c.Read(PageAddr{}, Condition{}); err == nil {
+		t.Fatal("read of unwritten page succeeded")
+	}
+}
+
+func TestBadAddressRejected(t *testing.T) {
+	c, _ := newTestChip(t, true)
+	data := randomPage(t, c, 6)
+	for _, a := range []PageAddr{
+		{Plane: -1}, {Plane: 99}, {Block: 99}, {Page: 99},
+	} {
+		if err := c.Program(a, data); err == nil {
+			t.Errorf("program at %+v accepted", a)
+		}
+	}
+	if err := c.Program(PageAddr{}, data[:10]); err == nil {
+		t.Fatal("short program accepted")
+	}
+}
+
+func TestOverwriteReplacesData(t *testing.T) {
+	c, ctrl := newTestChip(t, true)
+	addr := PageAddr{Plane: 2, Block: 3, Page: 4}
+	first := randomPage(t, c, 7)
+	second := randomPage(t, c, 8)
+	if err := c.Program(addr, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Program(addr, second); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ctrl.ReadPage(c, addr, Condition{}, 1)
+	if err != nil || !stats.OK {
+		t.Fatal("re-read failed")
+	}
+	if !bytes.Equal(stats.Data, second) {
+		t.Fatal("overwrite did not take effect")
+	}
+}
+
+func TestIterationsGrowWithStress(t *testing.T) {
+	c, ctrl := newTestChip(t, true)
+	addr := PageAddr{Plane: 0, Block: 2, Page: 0}
+	if err := c.Program(addr, randomPage(t, c, 9)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := ctrl.ReadPage(c, addr, Condition{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aged, err := ctrl.ReadPage(c, addr, Condition{PECycles: 1000, RetentionDays: 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aged.Iterations <= fresh.Iterations {
+		t.Fatalf("iterations did not grow with stress: %d vs %d", aged.Iterations, fresh.Iterations)
+	}
+}
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(bitsToBytes(bytesToBits(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRoundTripManyPages(t *testing.T) {
+	// Any data, any address: program-then-read under benign conditions
+	// is the identity.
+	cfg := DefaultConfig()
+	cfg.Code = ldpc.NewCode(4, 12, 64, 3) // tiny code for speed
+	cfg.PageBytes = 2 * cfg.Code.K() / 8
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewController(cfg.Code)
+	f := func(seed uint64, plRaw, blkRaw, pgRaw uint8) bool {
+		addr := PageAddr{
+			Plane: int(plRaw) % cfg.Planes,
+			Block: int(blkRaw) % cfg.BlocksPerPlane,
+			Page:  int(pgRaw) % cfg.PagesPerBlock,
+		}
+		rng := rand.New(rand.NewPCG(seed, 1))
+		data := make([]byte, cfg.PageBytes)
+		for i := range data {
+			data[i] = byte(rng.UintN(256))
+		}
+		if err := c.Program(addr, data); err != nil {
+			return false
+		}
+		stats, err := ctrl.ReadPage(c, addr, Condition{}, 1)
+		return err == nil && stats.OK && bytes.Equal(stats.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package chip
+
+import (
+	"fmt"
+
+	"repro/internal/ldpc"
+)
+
+// Controller is the off-chip side of the data path: the channel-level
+// LDPC decoder plus the layout restore and descrambling steps. It
+// pairs with a Chip to form the complete read/write pipeline.
+type Controller struct {
+	code    *ldpc.Code
+	decoder *ldpc.MinSumDecoder
+}
+
+// NewController builds the controller half for a chip's code.
+func NewController(code *ldpc.Code) *Controller {
+	return &Controller{
+		code:    code,
+		decoder: ldpc.NewMinSumDecoder(code, 0),
+	}
+}
+
+// DecodeOutcome reports a page decode attempt.
+type DecodeOutcome struct {
+	// OK is true when every codeword decoded.
+	OK bool
+	// Data is the recovered user data (valid when OK).
+	Data []byte
+	// Iterations is the summed LDPC iteration count across codewords
+	// (the paper's tECC driver).
+	Iterations int
+	// FailedCodewords counts codewords the decoder could not fix.
+	FailedCodewords int
+}
+
+// Decode restores the codeword layout (§V-B: the controller rotates
+// segments back before LDPC decoding), decodes every codeword and
+// descrambles the recovered data.
+func (c *Controller) Decode(chipRef *Chip, a PageAddr, res *ReadResult) (*DecodeOutcome, error) {
+	if len(res.Codewords) == 0 {
+		return nil, fmt.Errorf("chip: empty read result")
+	}
+	out := &DecodeOutcome{OK: true}
+	kBytes := c.code.K() / 8
+	buf := make([]byte, 0, len(res.Codewords)*kBytes)
+	for _, sensed := range res.Codewords {
+		restored := c.code.Restore(sensed)
+		dec := c.decoder.Decode(restored)
+		out.Iterations += dec.Iterations
+		if !dec.OK {
+			out.OK = false
+			out.FailedCodewords++
+			buf = append(buf, make([]byte, kBytes)...)
+			continue
+		}
+		buf = append(buf, bitsToBytes(c.code.ExtractData(dec.Word))...)
+	}
+	if !out.OK {
+		return out, nil
+	}
+	chipRef.randomizer.Scramble(buf, chipRef.ppn(a)) // descramble (involution)
+	out.Data = buf
+	return out, nil
+}
+
+// ReadPage drives the full paper read flow end to end: sense (with
+// the on-die ODEAR engine if enabled), decode off-chip, and on
+// failure fall back to conventional retries up to maxRetries times.
+// It reports the recovered data plus the cost counters a performance
+// model would consume.
+func (c *Controller) ReadPage(chipRef *Chip, a PageAddr, cond Condition, maxRetries int) (*PageReadStats, error) {
+	res, err := chipRef.Read(a, cond)
+	if err != nil {
+		return nil, err
+	}
+	stats := &PageReadStats{
+		Senses:       res.Senses,
+		Transfers:    1,
+		InDieRetried: res.Retried,
+	}
+	out, err := c.Decode(chipRef, a, res)
+	if err != nil {
+		return nil, err
+	}
+	stats.Iterations += out.Iterations
+	for !out.OK && stats.OffChipRetries < maxRetries {
+		stats.OffChipRetries++
+		res, err = chipRef.ReadConventionalRetry(a, cond)
+		if err != nil {
+			return nil, err
+		}
+		stats.Senses += res.Senses
+		stats.Transfers++
+		out, err = c.Decode(chipRef, a, res)
+		if err != nil {
+			return nil, err
+		}
+		stats.Iterations += out.Iterations
+	}
+	stats.OK = out.OK
+	stats.Data = out.Data
+	return stats, nil
+}
+
+// PageReadStats summarizes one end-to-end page read.
+type PageReadStats struct {
+	OK             bool
+	Data           []byte
+	Senses         int  // array sense operations (tR units)
+	Transfers      int  // channel crossings (tDMA units)
+	InDieRetried   bool // the ODEAR engine re-read the page
+	OffChipRetries int  // conventional retry loops needed
+	Iterations     int  // total LDPC iterations (tECC driver)
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: the
+// RP chunk size (§V-A1), the channel ECC buffer depth (§III-B3), the
+// prediction accuracy requirement (§IV-B) and the footnote-4 second
+// prediction pass.
+
+// ChunkAblationPoint is one RP chunk-size configuration.
+type ChunkAblationPoint struct {
+	ChunkKiB  int
+	TPredUS   float64
+	Floor     float64 // asymptotic prediction accuracy
+	MBps      float64
+	UncorFrac float64
+}
+
+// chunkConfigs maps chunk size to its prediction latency (the page
+// buffer readout scales with the chunk, §V-B: 2.5 us for 4 KiB) and
+// its accuracy floor (smaller chunks sample less of the page, so the
+// chunk-to-page RBER noise of Fig. 12 costs accuracy).
+var chunkConfigs = []struct {
+	kib   int
+	tPred float64
+	floor float64
+}{
+	{1, 0.625, 0.975},
+	{2, 1.25, 0.988},
+	{4, 2.5, 0.995},
+	{8, 5.0, 0.998},
+	{16, 10.0, 0.999},
+}
+
+// AblateChunkSize sweeps the RP chunk size on a worn, read-heavy run
+// and reports the bandwidth/accuracy trade the paper resolves at
+// 4 KiB.
+func AblateChunkSize(p RunParams) ([]ChunkAblationPoint, error) {
+	var out []ChunkAblationPoint
+	for _, cc := range chunkConfigs {
+		cfg := p.buildConfig(ssd.RiF, 2000)
+		cfg.Timing.TPred = sim.Time(cc.tPred * float64(sim.Microsecond))
+		cfg.PredictionFloor = cc.floor
+		m, err := runConfig(p, cfg, "Ali124")
+		if err != nil {
+			return nil, err
+		}
+		_, _, uncor, _ := m.Channels.Fractions()
+		out = append(out, ChunkAblationPoint{
+			ChunkKiB:  cc.kib,
+			TPredUS:   cc.tPred,
+			Floor:     cc.floor,
+			MBps:      m.Bandwidth(),
+			UncorFrac: uncor,
+		})
+	}
+	return out, nil
+}
+
+// BufferAblationPoint is one ECC buffer depth configuration.
+type BufferAblationPoint struct {
+	Slots       int
+	MBps        float64
+	ECCWaitFrac float64
+}
+
+// AblateECCBuffer sweeps the channel ECC raw-data buffer depth for
+// the off-chip baseline, showing how much of the ECCWAIT loss deeper
+// buffers can (and cannot) recover.
+func AblateECCBuffer(p RunParams, scheme ssd.Scheme) ([]BufferAblationPoint, error) {
+	var out []BufferAblationPoint
+	for _, slots := range []int{1, 2, 4, 8, 16} {
+		cfg := p.buildConfig(scheme, 2000)
+		cfg.ECCBufferSlots = slots
+		m, err := runConfig(p, cfg, "Ali124")
+		if err != nil {
+			return nil, err
+		}
+		_, _, _, wait := m.Channels.Fractions()
+		out = append(out, BufferAblationPoint{Slots: slots, MBps: m.Bandwidth(), ECCWaitFrac: wait})
+	}
+	return out, nil
+}
+
+// AccuracyAblationPoint is one prediction-floor configuration.
+type AccuracyAblationPoint struct {
+	Floor     float64
+	MBps      float64
+	UncorFrac float64
+}
+
+// AblateAccuracy sweeps the RP accuracy floor, quantifying how much
+// prediction quality RiF's benefit actually needs (§IV-B's "
+// sufficiently high prediction accuracy" requirement).
+func AblateAccuracy(p RunParams) ([]AccuracyAblationPoint, error) {
+	var out []AccuracyAblationPoint
+	for _, floor := range []float64{0.80, 0.90, 0.95, 0.98, 0.995} {
+		cfg := p.buildConfig(ssd.RiF, 2000)
+		cfg.PredictionFloor = floor
+		m, err := runConfig(p, cfg, "Ali124")
+		if err != nil {
+			return nil, err
+		}
+		_, _, uncor, _ := m.Channels.Fractions()
+		out = append(out, AccuracyAblationPoint{Floor: floor, MBps: m.Bandwidth(), UncorFrac: uncor})
+	}
+	return out, nil
+}
+
+// SecondCheckResult compares RiF with and without the footnote-4
+// second prediction pass under conditions harsh enough that some
+// re-reads stay uncorrectable.
+type SecondCheckResult struct {
+	Without, With ssd.Metrics
+}
+
+// AblateSecondCheck measures the second-check extension at very heavy
+// wear (3K P/E), where adjusted-VREF re-reads occasionally remain
+// above the capability.
+func AblateSecondCheck(p RunParams) (*SecondCheckResult, error) {
+	base := p.buildConfig(ssd.RiF, 3000)
+	without, err := runConfig(p, base, "Ali124")
+	if err != nil {
+		return nil, err
+	}
+	withCfg := base
+	withCfg.RiFSecondCheck = true
+	with, err := runConfig(p, withCfg, "Ali124")
+	if err != nil {
+		return nil, err
+	}
+	return &SecondCheckResult{Without: *without, With: *with}, nil
+}
+
+// SchedulingPoint is one die-policy configuration result.
+type SchedulingPoint struct {
+	Policy      ssd.DiePolicy
+	Scheme      ssd.Scheme
+	MBps        float64
+	P99US       float64
+	Suspensions int64
+}
+
+// AblateDieScheduling sweeps the die scheduling policy (FIFO /
+// read-priority / program suspension) for the given schemes on a
+// mixed read-write workload: suspension is the orthogonal
+// modern-controller optimization, and the study shows it is
+// complementary to — not a substitute for — RiF.
+func AblateDieScheduling(p RunParams, schemes []ssd.Scheme) ([]SchedulingPoint, error) {
+	var out []SchedulingPoint
+	for _, scheme := range schemes {
+		for _, policy := range []ssd.DiePolicy{ssd.DieFIFO, ssd.DieReadPriority, ssd.DieSuspension} {
+			cfg := p.buildConfig(scheme, 2000)
+			cfg.DiePolicy = policy
+			m, err := runConfig(p, cfg, "Sys0")
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SchedulingPoint{
+				Policy:      policy,
+				Scheme:      scheme,
+				MBps:        m.Bandwidth(),
+				P99US:       m.ReadLatencies.Percentile(99),
+				Suspensions: m.Suspensions,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatScheduling renders the die-policy sweep.
+func FormatScheduling(points []SchedulingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-14s %9s %9s %12s\n", "scheme", "policy", "MB/s", "p99us", "suspensions")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-8s %-14s %9.0f %9.0f %12d\n",
+			pt.Scheme, pt.Policy, pt.MBps, pt.P99US, pt.Suspensions)
+	}
+	return b.String()
+}
+
+// runConfig runs an explicit configuration against a named workload.
+func runConfig(p RunParams, cfg ssd.Config, workloadName string) (*ssd.Metrics, error) {
+	w, err := p.workload(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Seed = p.Seed
+	s, err := ssd.New(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(p.Requests)
+}
+
+// FormatChunkAblation renders the chunk-size sweep.
+func FormatChunkAblation(points []ChunkAblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%7s %8s %7s %9s %7s\n", "chunk", "tPRED", "floor", "MB/s", "uncor")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%5dKi %6.2fus %7.3f %9.0f %6.1f%%\n",
+			pt.ChunkKiB, pt.TPredUS, pt.Floor, pt.MBps, 100*pt.UncorFrac)
+	}
+	return b.String()
+}
+
+// FormatBufferAblation renders the ECC buffer sweep.
+func FormatBufferAblation(points []BufferAblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %9s %9s\n", "slots", "MB/s", "eccwait")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%6d %9.0f %8.1f%%\n", pt.Slots, pt.MBps, 100*pt.ECCWaitFrac)
+	}
+	return b.String()
+}
+
+// FormatAccuracyAblation renders the accuracy sweep.
+func FormatAccuracyAblation(points []AccuracyAblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%7s %9s %7s\n", "floor", "MB/s", "uncor")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%7.3f %9.0f %6.1f%%\n", pt.Floor, pt.MBps, 100*pt.UncorFrac)
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ssd"
+)
+
+func TestAblateChunkSize(t *testing.T) {
+	pts, err := AblateChunkSize(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Larger chunks: slower prediction but higher floor.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TPredUS <= pts[i-1].TPredUS || pts[i].Floor < pts[i-1].Floor {
+			t.Fatalf("chunk configs not monotone: %+v", pts)
+		}
+	}
+	// The 1-KiB point's extra mispredictions must show as more
+	// uncorrectable traffic than the 4-KiB point.
+	var u1, u4 float64
+	for _, p := range pts {
+		if p.ChunkKiB == 1 {
+			u1 = p.UncorFrac
+		}
+		if p.ChunkKiB == 4 {
+			u4 = p.UncorFrac
+		}
+	}
+	if u1 <= u4 {
+		t.Fatalf("1-KiB uncor %v not above 4-KiB %v", u1, u4)
+	}
+	if !strings.Contains(FormatChunkAblation(pts), "tPRED") {
+		t.Fatal("format missing header")
+	}
+}
+
+func TestAblateECCBuffer(t *testing.T) {
+	pts, err := AblateECCBuffer(fastParams(), ssd.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ECC wait shrinks as the buffer deepens.
+	first, last := pts[0], pts[len(pts)-1]
+	if last.ECCWaitFrac >= first.ECCWaitFrac {
+		t.Fatalf("deeper buffer did not cut eccwait: %+v", pts)
+	}
+	// But even a deep buffer cannot beat RiF: uncorrectable data
+	// still crosses the channel (bandwidth stays well below the
+	// RiF point measured elsewhere). Sanity: bandwidth monotone-ish.
+	if last.MBps < first.MBps {
+		t.Fatalf("deeper buffer reduced bandwidth: %+v", pts)
+	}
+	if !strings.Contains(FormatBufferAblation(pts), "eccwait") {
+		t.Fatal("format missing header")
+	}
+}
+
+func TestAblateAccuracy(t *testing.T) {
+	pts, err := AblateAccuracy(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worse accuracy -> more doomed transfers; bandwidth must not
+	// improve as the floor drops.
+	lo, hi := pts[0], pts[len(pts)-1]
+	if lo.UncorFrac <= hi.UncorFrac {
+		t.Fatalf("uncor not increasing as accuracy drops: %+v", pts)
+	}
+	if lo.MBps > hi.MBps*1.02 {
+		t.Fatalf("lower accuracy outperformed higher: %+v", pts)
+	}
+	if !strings.Contains(FormatAccuracyAblation(pts), "floor") {
+		t.Fatal("format missing header")
+	}
+}
+
+func TestAblateSecondCheck(t *testing.T) {
+	res, err := AblateSecondCheck(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 3K P/E some adjusted-VREF re-reads stay uncorrectable; the
+	// second check must convert part of that doomed traffic into
+	// in-die work.
+	_, _, without, _ := res.Without.Channels.Fractions()
+	_, _, with, _ := res.With.Channels.Fractions()
+	if with > without {
+		t.Fatalf("second check increased uncor traffic: %v -> %v", without, with)
+	}
+	if res.With.AvoidedTransfers < res.Without.AvoidedTransfers {
+		t.Fatalf("second check avoided fewer transfers: %d -> %d",
+			res.Without.AvoidedTransfers, res.With.AvoidedTransfers)
+	}
+}

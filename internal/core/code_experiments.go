@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+
+	"repro/internal/ldpc"
+	"repro/internal/nand"
+	"repro/internal/odear"
+)
+
+// CodeParams sizes the QC-LDPC used by the code-level studies. The
+// default keeps the paper's 4x36 block shape with a reduced circulant
+// so sweeps are fast; set Circulant to ldpc.PaperCirculant (1024) for
+// the full 4-KiB codeword.
+type CodeParams struct {
+	BlockRows int
+	BlockCols int
+	Circulant int
+	Seed      uint64
+	// Samples is the number of test codewords per RBER point.
+	Samples int
+}
+
+// DefaultCodeParams returns the fast-sweep configuration.
+func DefaultCodeParams() CodeParams {
+	return CodeParams{
+		BlockRows: ldpc.PaperBlockRows,
+		BlockCols: ldpc.PaperBlockCols,
+		Circulant: 256,
+		Seed:      7,
+		Samples:   200,
+	}
+}
+
+func (p CodeParams) build() *ldpc.Code {
+	return ldpc.NewCode(p.BlockRows, p.BlockCols, p.Circulant, p.Seed)
+}
+
+// CapabilityPoint is one RBER point of the Fig. 3 study.
+type CapabilityPoint struct {
+	RBER        float64
+	FailureProb float64
+	AvgIters    float64
+}
+
+// Fig3 measures the decoding failure probability and the average
+// iteration count of the QC-LDPC decoder across an RBER sweep, using
+// the real min-sum decoder on real noisy codewords.
+func Fig3(p CodeParams, rbers []float64) []CapabilityPoint {
+	if len(rbers) == 0 {
+		rbers = []float64{0.004, 0.005, 0.006, 0.007, 0.008, 0.0085, 0.009, 0.010}
+	}
+	code := p.build()
+	out := make([]CapabilityPoint, len(rbers))
+	var wg sync.WaitGroup
+	for i, r := range rbers {
+		wg.Add(1)
+		go func(i int, r float64) {
+			defer wg.Done()
+			dec := ldpc.NewMinSumDecoder(code, 0)
+			rng := rand.New(rand.NewPCG(p.Seed, uint64(i)+100))
+			fails, iters := 0, 0
+			k := int(r*float64(code.N()) + 0.5)
+			for s := 0; s < p.Samples; s++ {
+				cw := code.Encode(ldpc.RandomBits(code.K(), rng))
+				res := dec.Decode(ldpc.FlipExact(cw, k, rng))
+				if !res.OK {
+					fails++
+				}
+				iters += res.Iterations
+			}
+			out[i] = CapabilityPoint{
+				RBER:        r,
+				FailureProb: float64(fails) / float64(p.Samples),
+				AvgIters:    float64(iters) / float64(p.Samples),
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	return out
+}
+
+// FormatFig3 renders the Fig. 3 sweep.
+func FormatFig3(points []CapabilityPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %12s %10s\n", "RBER", "P(failure)", "avg iters")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%10.4f %12.4f %10.1f\n", pt.RBER, pt.FailureProb, pt.AvgIters)
+	}
+	return b.String()
+}
+
+// CorrelationPoint is one RBER point of the Fig. 10 study.
+type CorrelationPoint struct {
+	RBER            float64
+	AvgFullWeight   float64
+	AvgPrunedWeight float64
+}
+
+// Fig10 measures the RBER-to-syndrome-weight correlation that
+// justifies the RP heuristic, and returns the calibrated threshold
+// rhoS alongside the sweep.
+func Fig10(p CodeParams, rbers []float64) (points []CorrelationPoint, rhoSFull, rhoSPruned int) {
+	if len(rbers) == 0 {
+		for r := 0.001; r <= 0.016001; r += 0.001 {
+			rbers = append(rbers, r)
+		}
+	}
+	code := p.build()
+	points = make([]CorrelationPoint, len(rbers))
+	var wg sync.WaitGroup
+	for i, r := range rbers {
+		wg.Add(1)
+		go func(i int, r float64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(p.Seed, uint64(i)+200))
+			fullSum, prunedSum := 0, 0
+			k := int(r*float64(code.N()) + 0.5)
+			for s := 0; s < p.Samples; s++ {
+				cw := ldpc.FlipExact(code.Encode(ldpc.RandomBits(code.K(), rng)), k, rng)
+				fullSum += code.SyndromeWeight(cw)
+				prunedSum += code.FirstRowSyndromeWeight(cw)
+			}
+			points[i] = CorrelationPoint{
+				RBER:            r,
+				AvgFullWeight:   float64(fullSum) / float64(p.Samples),
+				AvgPrunedWeight: float64(prunedSum) / float64(p.Samples),
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	return points,
+		odear.RhoS(code, nand.ECCCapabilityRBER, false),
+		odear.RhoS(code, nand.ECCCapabilityRBER, true)
+}
+
+// AccuracyPoint is one RBER point of the Fig. 11 / Fig. 14 studies.
+type AccuracyPoint struct {
+	RBER     float64
+	Accuracy float64
+}
+
+// RPAccuracy measures the agreement between the RP prediction and the
+// real LDPC decode outcome across an RBER sweep. approximate=false is
+// Fig. 11 (full syndrome weight); approximate=true is Fig. 14
+// (chunk-based prediction with syndrome pruning).
+func RPAccuracy(p CodeParams, rbers []float64, approximate bool) []AccuracyPoint {
+	if len(rbers) == 0 {
+		for r := 0.003; r <= 0.033001; r += 0.002 {
+			rbers = append(rbers, r)
+		}
+	}
+	code := p.build()
+	rp := odear.NewRP(code, nand.ECCCapabilityRBER, approximate)
+	out := make([]AccuracyPoint, len(rbers))
+	var wg sync.WaitGroup
+	for i, r := range rbers {
+		wg.Add(1)
+		go func(i int, r float64) {
+			defer wg.Done()
+			dec := ldpc.NewMinSumDecoder(code, 0)
+			rng := rand.New(rand.NewPCG(p.Seed, uint64(i)+300))
+			agree := 0
+			k := int(r*float64(code.N()) + 0.5)
+			for s := 0; s < p.Samples; s++ {
+				cw := ldpc.FlipExact(code.Encode(ldpc.RandomBits(code.K(), rng)), k, rng)
+				predictRetry := rp.Predict(cw)
+				actualFail := !dec.Decode(cw).OK
+				if predictRetry == actualFail {
+					agree++
+				}
+			}
+			out[i] = AccuracyPoint{RBER: r, Accuracy: float64(agree) / float64(p.Samples)}
+		}(i, r)
+	}
+	wg.Wait()
+	return out
+}
+
+// MeanAccuracyAbove averages the measured accuracy over points whose
+// RBER exceeds the capability — the paper's headline 99.1% (full) and
+// 98.7% (approximate) numbers.
+func MeanAccuracyAbove(points []AccuracyPoint, capability float64) float64 {
+	total, n := 0.0, 0
+	for _, pt := range points {
+		if pt.RBER > capability {
+			total += pt.Accuracy
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// SoftGainStudy measures the capability extension soft-decision
+// decoding buys over hard-decision decoding — the modern last-resort
+// retry the related-work section situates RiF against. It returns the
+// paired failure curves plus the estimated soft-decoding capability.
+func SoftGainStudy(p CodeParams, rbers []float64) (points []ldpc.SoftGainPoint, softCap float64) {
+	if len(rbers) == 0 {
+		rbers = []float64{0.006, 0.0085, 0.010, 0.012, 0.015, 0.02}
+	}
+	code := p.build()
+	points = ldpc.MeasureSoftGain(code, rbers, p.Samples, p.Seed)
+	softCap = ldpc.SoftCapability(code, p.Samples/4+4, p.Seed)
+	return points, softCap
+}
+
+// FormatSoftGain renders the soft-vs-hard comparison.
+func FormatSoftGain(points []ldpc.SoftGainPoint, softCap float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %12s %12s %11s %11s\n", "RBER", "hard P(fail)", "soft P(fail)", "hard iters", "soft iters")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%10.4f %12.3f %12.3f %11.1f %11.1f\n",
+			pt.RBER, pt.HardFail, pt.SoftFail, pt.HardIters, pt.SoftIters)
+	}
+	fmt.Fprintf(&b, "estimated soft-decoding capability: %.4f (hard: %.4f)\n",
+		softCap, nand.ECCCapabilityRBER)
+	return b.String()
+}
+
+// FormatAccuracy renders an accuracy sweep.
+func FormatAccuracy(points []AccuracyPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s\n", "RBER", "accuracy")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%10.4f %10.3f\n", pt.RBER, pt.Accuracy)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+// Package core orchestrates the RiF reproduction experiments: it
+// wires the QC-LDPC machinery, the NAND reliability model, the ODEAR
+// engine and the SSD simulator into the studies behind every table
+// and figure of the paper, and exposes the library-level entry points
+// the cmd/ tools, examples and benchmarks share.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// RunParams sizes an SSD-level experiment run.
+type RunParams struct {
+	// Requests is the number of host requests per simulation run.
+	Requests int
+	// Seed drives all random streams.
+	Seed uint64
+	// FootprintPages overrides the workloads' logical footprint
+	// (0 keeps the spec default).
+	FootprintPages int64
+	// Shrink reduces the per-plane block/page counts to keep runs
+	// fast; the channel/die topology (what the experiments measure)
+	// is unchanged. Zero means the full Table I array.
+	Shrink bool
+}
+
+// DefaultRunParams returns the sizing used by the cmd tools.
+func DefaultRunParams() RunParams {
+	return RunParams{Requests: 3000, Seed: 1, FootprintPages: 1 << 17, Shrink: true}
+}
+
+// buildConfig derives the simulator configuration.
+func (p RunParams) buildConfig(scheme ssd.Scheme, pe int) ssd.Config {
+	cfg := ssd.DefaultConfig(scheme, pe)
+	cfg.Seed = p.Seed
+	if p.Shrink {
+		cfg.Geometry.BlocksPerPlane = 256
+		cfg.Geometry.PagesPerBlock = 128
+	}
+	return cfg
+}
+
+// workload instantiates a Table II workload generator.
+func (p RunParams) workload(name string) (*trace.Generator, error) {
+	spec, err := trace.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.FootprintPages > 0 {
+		spec.FootprintPages = p.FootprintPages
+	}
+	return trace.NewGenerator(spec, p.Seed)
+}
+
+// RunOne simulates a single (scheme, workload, P/E) cell and returns
+// its metrics.
+func RunOne(p RunParams, scheme ssd.Scheme, workloadName string, pe int) (*ssd.Metrics, error) {
+	if p.Requests <= 0 {
+		return nil, fmt.Errorf("core: requests = %d", p.Requests)
+	}
+	w, err := p.workload(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ssd.New(p.buildConfig(scheme, pe), w)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(p.Requests)
+}

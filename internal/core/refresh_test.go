@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ssd"
+)
+
+func TestAblateRefreshHorizon(t *testing.T) {
+	pts, err := AblateRefreshHorizon(fastParams(), ssd.One, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Retry rate grows with the horizon; refresh tax shrinks.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RetryRate < pts[i-1].RetryRate {
+			t.Fatalf("retry rate not monotone: %+v", pts)
+		}
+		if pts[i].RefreshTaxMBps >= pts[i-1].RefreshTaxMBps {
+			t.Fatalf("refresh tax not decreasing: %+v", pts)
+		}
+	}
+	// Short-horizon runs must outperform long-horizon ones on an
+	// off-chip scheme (fewer retries).
+	if pts[0].MBps <= pts[len(pts)-1].MBps {
+		t.Fatalf("7-day horizon not faster than 90-day: %+v", pts)
+	}
+	if !strings.Contains(FormatRefresh(pts), "refresh tax") {
+		t.Fatal("format missing header")
+	}
+}
+
+func TestRefreshHorizonMattersLessForRiF(t *testing.T) {
+	// RiF hides most of the retry cost, so its bandwidth should be
+	// far less sensitive to the refresh period than SSDone's.
+	one, err := AblateRefreshHorizon(fastParams(), ssd.One, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := AblateRefreshHorizon(fastParams(), ssd.RiF, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneSwing := one[0].MBps/one[len(one)-1].MBps - 1
+	rfSwing := rf[0].MBps/rf[len(rf)-1].MBps - 1
+	if rfSwing >= oneSwing {
+		t.Fatalf("RiF sensitivity %v not below SSDone %v", rfSwing, oneSwing)
+	}
+}
+
+func TestMultiTenantStudy(t *testing.T) {
+	results, err := MultiTenantStudy(fastParams(), []ssd.Scheme{ssd.Sentinel, ssd.RiF}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || len(results[0].Tenants) != 2 {
+		t.Fatalf("shape: %+v", results)
+	}
+	// RiF must protect the read tenant's tail better than SENC.
+	var sencTail, rifTail float64
+	for _, r := range results {
+		for _, tn := range r.Tenants {
+			if tn.Workload != "Ali124" {
+				continue
+			}
+			if r.Scheme == ssd.Sentinel {
+				sencTail = tn.P99US
+			} else {
+				rifTail = tn.P99US
+			}
+		}
+	}
+	if rifTail >= sencTail {
+		t.Fatalf("RiF tenant p99 %v not below SENC %v", rifTail, sencTail)
+	}
+	if !strings.Contains(FormatMultiTenant(results), "tenant") {
+		t.Fatal("format missing header")
+	}
+}

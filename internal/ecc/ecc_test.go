@@ -1,0 +1,92 @@
+package ecc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTableILatencyRange(t *testing.T) {
+	e := NewEngine()
+	if e.MinLatency() != sim.Microsecond {
+		t.Fatalf("min latency = %v, want 1us", e.MinLatency())
+	}
+	if e.MaxLatency() != 20*sim.Microsecond {
+		t.Fatalf("max latency = %v, want 20us", e.MaxLatency())
+	}
+}
+
+func TestDecodeCleanPage(t *testing.T) {
+	e := NewEngine()
+	out := e.Decode(0.0001)
+	if !out.OK {
+		t.Fatal("near-clean page failed to decode")
+	}
+	if out.Latency != sim.Microsecond || out.Iterations != 1 {
+		t.Fatalf("clean decode latency=%v iters=%d", out.Latency, out.Iterations)
+	}
+}
+
+func TestDecodeFailureBurnsMaxIterations(t *testing.T) {
+	// §III-B3: "When an uncorrectable page is decoded by an ECC
+	// engine, its tECC is much longer than that of an ECC-decodable
+	// page" — the full 20 iterations.
+	e := NewEngine()
+	out := e.Decode(0.012)
+	if out.OK {
+		t.Fatal("page above capability decoded")
+	}
+	if out.Latency != e.MaxLatency() || out.Iterations != e.MaxIterations {
+		t.Fatalf("failed decode latency=%v iters=%d", out.Latency, out.Iterations)
+	}
+}
+
+func TestDecodeBoundaryExactlyAtCapability(t *testing.T) {
+	e := NewEngine()
+	if !e.Decode(e.Capability).OK {
+		t.Fatal("page at exactly the capability must decode")
+	}
+	if e.Decode(e.Capability * 1.0001).OK {
+		t.Fatal("page just above the capability must fail")
+	}
+}
+
+func TestIterationsMonotonic(t *testing.T) {
+	e := NewEngine()
+	prev := 0
+	for r := 0.0; r <= 0.0085; r += 0.0005 {
+		it := e.Iterations(r)
+		if it < prev {
+			t.Fatalf("iterations decreased at rber=%v", r)
+		}
+		if it < 1 || it > e.MaxIterations {
+			t.Fatalf("iterations out of range at rber=%v: %d", r, it)
+		}
+		prev = it
+	}
+}
+
+func TestIterationCurveShape(t *testing.T) {
+	// Fig. 3(b): iterations stay low at half the capability and reach
+	// the cap at the capability.
+	e := NewEngine()
+	if it := e.Iterations(e.Capability / 2); it > 5 {
+		t.Fatalf("iterations at cap/2 = %d, want small", it)
+	}
+	if it := e.Iterations(e.Capability); it != e.MaxIterations {
+		t.Fatalf("iterations at capability = %d, want %d", it, e.MaxIterations)
+	}
+	if it := e.Iterations(0); it != 1 {
+		t.Fatalf("iterations at 0 = %d", it)
+	}
+}
+
+func TestLatencyProportionalToIterations(t *testing.T) {
+	e := NewEngine()
+	for _, r := range []float64{0.001, 0.004, 0.007, 0.0085, 0.02} {
+		out := e.Decode(r)
+		if out.Latency != sim.Time(out.Iterations)*e.IterationTime {
+			t.Fatalf("rber=%v: latency %v != %d iterations", r, out.Latency, out.Iterations)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package fit calibrates the NAND reliability model against
+// characterization targets — the workflow the RiF authors followed
+// with their 160-chip study, exposed as a tool: given the retention
+// day at which pages cross the ECC capability for each P/E count
+// (Fig. 4-style data), fit finds model parameters that reproduce it.
+//
+// The optimizer is a deterministic coordinate descent over the few
+// physical knobs that matter (retention shift rate, P/E acceleration,
+// P/E widening); the model is smooth and monotone in each, so the
+// simple search converges reliably.
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nand"
+)
+
+// Target is one characterization point: at peCycles, the page
+// population first crosses the ECC capability after CrossDays of
+// retention (median block, CSB page).
+type Target struct {
+	PECycles  int
+	CrossDays float64
+}
+
+// PaperTargets returns the Fig. 4 frontier the default model was
+// calibrated to (interpreted as median-block crossings; the onsets
+// the paper quotes are the fast tail of the block population).
+func PaperTargets() []Target {
+	return []Target{
+		{PECycles: 0, CrossDays: 17},
+		{PECycles: 200, CrossDays: 14},
+		{PECycles: 500, CrossDays: 10},
+		{PECycles: 1000, CrossDays: 8},
+	}
+}
+
+// Result reports a calibration outcome.
+type Result struct {
+	Params nand.ModelParams
+	// RMSLE is the root-mean-square log error of the crossing days.
+	RMSLE float64
+	// Evaluations counts model evaluations spent.
+	Evaluations int
+}
+
+// Options bound the search.
+type Options struct {
+	// MaxIterations caps coordinate-descent sweeps (default 40).
+	MaxIterations int
+	// Seed selects the model's variation streams during fitting.
+	Seed uint64
+}
+
+// Calibrate fits the retention-related parameters of base so the
+// model's median-block CSB crossing days match the targets. Other
+// parameters are left untouched.
+func Calibrate(base nand.ModelParams, targets []Target, opts Options) (*Result, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("fit: no targets")
+	}
+	for _, t := range targets {
+		if t.CrossDays <= 0 || t.PECycles < 0 {
+			return nil, fmt.Errorf("fit: bad target %+v", t)
+		}
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 40
+	}
+
+	evals := 0
+	loss := func(p nand.ModelParams) float64 {
+		evals++
+		m := nand.NewModel(p, opts.Seed)
+		sum := 0.0
+		for _, t := range targets {
+			d := m.RetentionUntilRetry(0, nand.CSB, t.PECycles, 365)
+			if d <= 0 {
+				d = 0.01
+			}
+			e := math.Log(d) - math.Log(t.CrossDays)
+			sum += e * e
+		}
+		return sum / float64(len(targets))
+	}
+
+	// Coordinate descent over the three retention knobs with
+	// shrinking multiplicative steps.
+	type knob struct {
+		get func(*nand.ModelParams) *float64
+		lo  float64
+		hi  float64
+	}
+	knobs := []knob{
+		{func(p *nand.ModelParams) *float64 { return &p.RetentionShift }, 5, 400},
+		{func(p *nand.ModelParams) *float64 { return &p.PEShiftBoost }, 0, 5},
+		{func(p *nand.ModelParams) *float64 { return &p.PEWiden }, 0, 2},
+	}
+	cur := base
+	curLoss := loss(cur)
+	step := 0.25
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		improved := false
+		for _, k := range knobs {
+			for _, dir := range []float64{1 + step, 1 / (1 + step)} {
+				cand := cur
+				v := k.get(&cand)
+				nv := *v * dir
+				if *v == 0 {
+					nv = step * dir // escape a zero knob
+				}
+				if nv < k.lo || nv > k.hi {
+					continue
+				}
+				*v = nv
+				if l := loss(cand); l < curLoss {
+					cur, curLoss = cand, l
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+			if step < 0.005 {
+				break
+			}
+		}
+	}
+	return &Result{Params: cur, RMSLE: math.Sqrt(curLoss), Evaluations: evals}, nil
+}
+
+// CrossingDays reports the fitted model's crossing day for each
+// target's P/E count, for side-by-side comparison.
+func CrossingDays(p nand.ModelParams, targets []Target, seed uint64) []float64 {
+	m := nand.NewModel(p, seed)
+	out := make([]float64, len(targets))
+	for i, t := range targets {
+		out[i] = m.RetentionUntilRetry(0, nand.CSB, t.PECycles, 365)
+	}
+	return out
+}

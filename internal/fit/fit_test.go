@@ -1,0 +1,93 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nand"
+)
+
+func TestCalibrateRecoversPerturbedModel(t *testing.T) {
+	// Generate targets from a known model, start the search from a
+	// perturbed one, and require the fit to recover the crossings.
+	truth := nand.DefaultModelParams()
+	targets := []Target{}
+	m := nand.NewModel(truth, 1)
+	for _, pe := range []int{0, 200, 500, 1000} {
+		targets = append(targets, Target{
+			PECycles:  pe,
+			CrossDays: m.RetentionUntilRetry(0, nand.CSB, pe, 365),
+		})
+	}
+	start := truth
+	start.RetentionShift *= 2.1
+	start.PEShiftBoost *= 0.3
+	res, err := Calibrate(start, targets, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSLE > 0.05 {
+		t.Fatalf("fit RMSLE = %v, want near-exact recovery", res.RMSLE)
+	}
+	got := CrossingDays(res.Params, targets, 1)
+	for i, t0 := range targets {
+		rel := math.Abs(got[i]-t0.CrossDays) / t0.CrossDays
+		if rel > 0.1 {
+			t.Fatalf("pe=%d: fitted crossing %.2f vs target %.2f", t0.PECycles, got[i], t0.CrossDays)
+		}
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("no evaluations counted")
+	}
+}
+
+func TestCalibrateToPaperTargets(t *testing.T) {
+	// Fitting the paper's Fig. 4 frontier must land within ~25% of
+	// every target (the model family can express the shape).
+	res, err := Calibrate(nand.DefaultModelParams(), PaperTargets(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CrossingDays(res.Params, PaperTargets(), 1)
+	for i, tgt := range PaperTargets() {
+		rel := math.Abs(got[i]-tgt.CrossDays) / tgt.CrossDays
+		if rel > 0.25 {
+			t.Fatalf("pe=%d: %.1f days vs paper %.1f", tgt.PECycles, got[i], tgt.CrossDays)
+		}
+	}
+	// The fitted model must remain physically sane: monotone
+	// crossings in P/E.
+	prev := math.Inf(1)
+	for _, d := range got {
+		if d > prev {
+			t.Fatalf("fitted crossings not monotone: %v", got)
+		}
+		prev = d
+	}
+}
+
+func TestCalibrateRejectsBadInput(t *testing.T) {
+	if _, err := Calibrate(nand.DefaultModelParams(), nil, Options{}); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+	if _, err := Calibrate(nand.DefaultModelParams(), []Target{{PECycles: -1, CrossDays: 5}}, Options{}); err == nil {
+		t.Fatal("negative P/E accepted")
+	}
+	if _, err := Calibrate(nand.DefaultModelParams(), []Target{{PECycles: 0, CrossDays: 0}}, Options{}); err == nil {
+		t.Fatal("zero crossing accepted")
+	}
+}
+
+func TestCalibrateDeterministic(t *testing.T) {
+	a, err := Calibrate(nand.DefaultModelParams(), PaperTargets(), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Calibrate(nand.DefaultModelParams(), PaperTargets(), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RMSLE != b.RMSLE || a.Params != b.Params {
+		t.Fatal("calibration not deterministic")
+	}
+}

@@ -1,0 +1,115 @@
+package ldpc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteAlist emits the code's parity-check matrix in MacKay's "alist"
+// format, the de-facto interchange format for LDPC matrices, so the
+// exact code used in an experiment can be checked against external
+// decoders.
+func (cd *Code) WriteAlist(w io.Writer) error {
+	checkVars, varChecks := cd.adjacency()
+	bw := bufio.NewWriter(w)
+	n, m := cd.N(), cd.M()
+	maxVar, maxCheck := 0, 0
+	for _, vc := range varChecks {
+		if len(vc) > maxVar {
+			maxVar = len(vc)
+		}
+	}
+	for _, cv := range checkVars {
+		if len(cv) > maxCheck {
+			maxCheck = len(cv)
+		}
+	}
+	fmt.Fprintf(bw, "%d %d\n%d %d\n", n, m, maxVar, maxCheck)
+	for i, vc := range varChecks {
+		sep := " "
+		if i == len(varChecks)-1 {
+			sep = "\n"
+		}
+		fmt.Fprintf(bw, "%d%s", len(vc), sep)
+	}
+	for i, cv := range checkVars {
+		sep := " "
+		if i == len(checkVars)-1 {
+			sep = "\n"
+		}
+		fmt.Fprintf(bw, "%d%s", len(cv), sep)
+	}
+	// Per-variable check lists (1-based, zero-padded to maxVar).
+	for _, vc := range varChecks {
+		for j := 0; j < maxVar; j++ {
+			v := 0
+			if j < len(vc) {
+				v = int(vc[j]) + 1
+			}
+			fmt.Fprintf(bw, "%d ", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	// Per-check variable lists (1-based, zero-padded to maxCheck).
+	for _, cv := range checkVars {
+		for j := 0; j < maxCheck; j++ {
+			v := 0
+			if j < len(cv) {
+				v = int(cv[j]) + 1
+			}
+			fmt.Fprintf(bw, "%d ", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// AlistStats summarizes an alist stream without materializing a code:
+// dimensions and degree profile. It validates structural consistency
+// (edge counts from both sides must agree).
+type AlistStats struct {
+	N, M                   int
+	MaxVarDeg, MaxCheckDeg int
+	Edges                  int
+}
+
+// ReadAlistStats parses the header and degree lists of an alist
+// stream.
+func ReadAlistStats(r io.Reader) (*AlistStats, error) {
+	br := bufio.NewReader(r)
+	var s AlistStats
+	if _, err := fmt.Fscan(br, &s.N, &s.M, &s.MaxVarDeg, &s.MaxCheckDeg); err != nil {
+		return nil, fmt.Errorf("ldpc: alist header: %w", err)
+	}
+	if s.N <= 0 || s.M <= 0 || s.MaxVarDeg <= 0 || s.MaxCheckDeg <= 0 {
+		return nil, fmt.Errorf("ldpc: alist header out of range: %+v", s)
+	}
+	varEdges := 0
+	for i := 0; i < s.N; i++ {
+		var d int
+		if _, err := fmt.Fscan(br, &d); err != nil {
+			return nil, fmt.Errorf("ldpc: alist var degree %d: %w", i, err)
+		}
+		if d < 0 || d > s.MaxVarDeg {
+			return nil, fmt.Errorf("ldpc: var degree %d out of range", d)
+		}
+		varEdges += d
+	}
+	checkEdges := 0
+	for i := 0; i < s.M; i++ {
+		var d int
+		if _, err := fmt.Fscan(br, &d); err != nil {
+			return nil, fmt.Errorf("ldpc: alist check degree %d: %w", i, err)
+		}
+		if d < 0 || d > s.MaxCheckDeg {
+			return nil, fmt.Errorf("ldpc: check degree %d out of range", d)
+		}
+		checkEdges += d
+	}
+	if varEdges != checkEdges {
+		return nil, fmt.Errorf("ldpc: alist edge mismatch: %d vs %d", varEdges, checkEdges)
+	}
+	s.Edges = varEdges
+	return &s, nil
+}

@@ -1,0 +1,76 @@
+package ldpc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAlistRoundTripStats(t *testing.T) {
+	cd := NewCode(4, 12, 32, 5)
+	var buf bytes.Buffer
+	if err := cd.WriteAlist(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadAlistStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != cd.N() || s.M != cd.M() {
+		t.Fatalf("dims %dx%d, want %dx%d", s.N, s.M, cd.N(), cd.M())
+	}
+	// Edge count: each nonzero block contributes T edges.
+	wantEdges := 0
+	for i := 0; i < cd.R; i++ {
+		for j := 0; j < cd.C; j++ {
+			if cd.Shifts[i][j] != ZeroBlock {
+				wantEdges += cd.T
+			}
+		}
+	}
+	if s.Edges != wantEdges {
+		t.Fatalf("edges %d, want %d", s.Edges, wantEdges)
+	}
+	if s.MaxVarDeg != 4 {
+		t.Fatalf("max var degree %d, want 4", s.MaxVarDeg)
+	}
+}
+
+func TestAlistRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",                     // empty
+		"0 4\n2 2\n",           // zero N
+		"4 -1\n2 2\n",          // negative M
+		"2 2\n1 1\n1 1\n2 1\n", // degree over max / mismatch
+	} {
+		if _, err := ReadAlistStats(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestAlistEdgeBalance(t *testing.T) {
+	// A stream whose var- and check-side edge totals disagree must be
+	// rejected.
+	in := "2 1\n1 2\n1 1\n1\n" // var edges = 2, check edges = 1
+	if _, err := ReadAlistStats(strings.NewReader(in)); err == nil {
+		t.Fatal("unbalanced alist accepted")
+	}
+}
+
+func TestAlistHeaderShape(t *testing.T) {
+	cd := NewCode(4, 12, 16, 5)
+	var buf bytes.Buffer
+	if err := cd.WriteAlist(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header (2) + degree lists (2) + N var lines + M check lines.
+	want := 4 + cd.N() + cd.M()
+	if len(lines) != want {
+		t.Fatalf("%d lines, want %d", len(lines), want)
+	}
+	if lines[0] != "192 64" {
+		t.Fatalf("header %q", lines[0])
+	}
+}

@@ -1,0 +1,119 @@
+package ldpc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// Microbenchmarks for the code paths the RP module and the channel
+// ECC model abstract: encode, decode, full and pruned syndrome
+// weights, and the §V-B rearrangement.
+
+func benchCodeAndWord(b *testing.B, t int, rber float64) (*Code, Bits) {
+	b.Helper()
+	cd := NewCode(4, 36, t, 7)
+	rng := rand.New(rand.NewPCG(1, 1))
+	cw := cd.Encode(RandomBits(cd.K(), rng))
+	if rber > 0 {
+		cw = FlipRandom(cw, rber, rng)
+	}
+	return cd, cw
+}
+
+func BenchmarkEncode(b *testing.B) {
+	cd := NewCode(4, 36, 256, 7)
+	rng := rand.New(rand.NewPCG(1, 1))
+	data := RandomBits(cd.K(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cd.Encode(data)
+	}
+	b.SetBytes(int64(cd.K() / 8))
+}
+
+func BenchmarkEncodePaperScale(b *testing.B) {
+	cd := NewPaperCode(7)
+	rng := rand.New(rand.NewPCG(1, 1))
+	data := RandomBits(cd.K(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cd.Encode(data)
+	}
+	b.SetBytes(int64(cd.K() / 8))
+}
+
+func BenchmarkSyndromeWeightFull(b *testing.B) {
+	cd, cw := benchCodeAndWord(b, 256, 0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cd.SyndromeWeight(cw)
+	}
+}
+
+func BenchmarkSyndromeWeightPruned(b *testing.B) {
+	// The §V-A2 pruning: must be ~R times cheaper than the full
+	// computation.
+	cd, cw := benchCodeAndWord(b, 256, 0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cd.FirstRowSyndromeWeight(cw)
+	}
+}
+
+func BenchmarkRearrangedPrunedWeight(b *testing.B) {
+	// The on-die datapath form (plain XOR of segments, Fig. 16):
+	// cheaper still — no rotations at read time.
+	cd, cw := benchCodeAndWord(b, 256, 0.005)
+	re := cd.Rearrange(cw)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cd.RearrangedPrunedWeight(re)
+	}
+}
+
+func BenchmarkRearrange(b *testing.B) {
+	cd, cw := benchCodeAndWord(b, 256, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cd.Rearrange(cw)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	cd, cw := benchCodeAndWord(b, 256, 0)
+	dec := NewMinSumDecoder(cd, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(cw)
+	}
+}
+
+func BenchmarkDecodeModerate(b *testing.B) {
+	cd, cw := benchCodeAndWord(b, 256, 0.004)
+	dec := NewMinSumDecoder(cd, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(cw)
+	}
+}
+
+func BenchmarkDecodeFailing(b *testing.B) {
+	// Uncorrectable input: the decoder burns all 20 iterations, the
+	// case whose latency stalls the paper's channel ECC buffer.
+	cd, cw := benchCodeAndWord(b, 256, 0.015)
+	dec := NewMinSumDecoder(cd, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(cw)
+	}
+}
+
+func BenchmarkFlipRandomSparse(b *testing.B) {
+	cd, cw := benchCodeAndWord(b, 256, 0)
+	rng := rand.New(rand.NewPCG(2, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FlipRandom(cw, 0.0085, rng)
+	}
+	_ = cd
+}

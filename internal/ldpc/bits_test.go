@@ -1,0 +1,210 @@
+package ldpc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsSetGetFlip(t *testing.T) {
+	b := NewBits(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("fresh bit %d set", i)
+		}
+		b.Set(i, true)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		b.Flip(i)
+		if b.Get(i) {
+			t.Fatalf("bit %d still set after flip", i)
+		}
+	}
+}
+
+func TestBitsPopCount(t *testing.T) {
+	b := NewBits(200)
+	for i := 0; i < 200; i += 3 {
+		b.Set(i, true)
+	}
+	want := 0
+	for i := 0; i < 200; i += 3 {
+		want++
+	}
+	if got := b.PopCount(); got != want {
+		t.Fatalf("PopCount = %d, want %d", got, want)
+	}
+}
+
+func TestBitsXor(t *testing.T) {
+	a := NewBits(100)
+	b := NewBits(100)
+	a.Set(5, true)
+	a.Set(70, true)
+	b.Set(70, true)
+	b.Set(99, true)
+	a.XorInPlace(b)
+	if !a.Get(5) || a.Get(70) || !a.Get(99) {
+		t.Fatal("xor result wrong")
+	}
+}
+
+func TestBitsCloneIndependent(t *testing.T) {
+	a := NewBits(64)
+	a.Set(10, true)
+	c := a.Clone()
+	c.Set(20, true)
+	if a.Get(20) {
+		t.Fatal("clone shares storage")
+	}
+	if !c.Get(10) {
+		t.Fatal("clone lost bit")
+	}
+}
+
+func TestBitsSegmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	full := RandomBits(1000, rng)
+	for _, tc := range []struct{ off, t int }{
+		{0, 64}, {1, 64}, {63, 65}, {128, 100}, {937, 63}, {0, 1000},
+	} {
+		seg := NewBits(tc.t)
+		full.Segment(seg, tc.off, tc.t)
+		for i := 0; i < tc.t; i++ {
+			if seg.Get(i) != full.Get(tc.off+i) {
+				t.Fatalf("segment(%d,%d) bit %d mismatch", tc.off, tc.t, i)
+			}
+		}
+		// Writing back must be the identity.
+		cp := full.Clone()
+		cp.SetSegment(seg, tc.off, tc.t)
+		if !cp.Equal(full) {
+			t.Fatalf("SetSegment(%d,%d) not identity", tc.off, tc.t)
+		}
+	}
+}
+
+func TestBitsSetSegmentOverwrites(t *testing.T) {
+	full := NewBits(256)
+	for i := 0; i < 256; i++ {
+		full.Set(i, true)
+	}
+	seg := NewBits(70) // zero segment
+	full.SetSegment(seg, 50, 70)
+	for i := 0; i < 256; i++ {
+		want := i < 50 || i >= 120
+		if full.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, full.Get(i), want)
+		}
+	}
+}
+
+func TestRotLBasic(t *testing.T) {
+	b := NewBits(8)
+	b.Set(0, true) // 10000000 (bit order: index 0 first)
+	r := b.RotL(1)
+	// out[i] = in[(i+1) mod 8] -> out[7] = in[0]
+	if !r.Get(7) || r.PopCount() != 1 {
+		t.Fatalf("RotL(1) wrong: popcount=%d", r.PopCount())
+	}
+	r0 := b.RotL(0)
+	if !r0.Equal(b) {
+		t.Fatal("RotL(0) not identity")
+	}
+	rt := b.RotL(8)
+	if !rt.Equal(b) {
+		t.Fatal("RotL(t) not identity")
+	}
+}
+
+func TestRotLComposition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, size := range []int{7, 64, 100, 128, 1024} {
+		b := RandomBits(size, rng)
+		for _, k := range []int{1, size / 3, size - 1} {
+			// RotL(k) then RotL(size-k) must be the identity.
+			if !b.RotL(k).RotL(size - k).Equal(b) {
+				t.Fatalf("size=%d k=%d: rotation not invertible", size, k)
+			}
+			// Weight is preserved.
+			if b.RotL(k).PopCount() != b.PopCount() {
+				t.Fatalf("size=%d k=%d: rotation changed weight", size, k)
+			}
+		}
+	}
+}
+
+func TestRotLMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 20; trial++ {
+		size := 65 + rng.IntN(200)
+		k := rng.IntN(size)
+		b := RandomBits(size, rng)
+		got := b.RotL(k)
+		for i := 0; i < size; i++ {
+			if got.Get(i) != b.Get((i+k)%size) {
+				t.Fatalf("size=%d k=%d bit %d mismatch", size, k, i)
+			}
+		}
+	}
+}
+
+func TestXorRotatedIntoMatchesRotL(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for trial := 0; trial < 20; trial++ {
+		size := 64 + rng.IntN(300)
+		k := rng.IntN(size)
+		seg := RandomBits(size, rng)
+		acc := RandomBits(size, rng)
+		want := acc.Clone()
+		want.XorInPlace(seg.RotL(k))
+		scratch := NewBits(size)
+		xorRotatedInto(acc, seg, scratch, k)
+		if !acc.Equal(want) {
+			t.Fatalf("size=%d k=%d: xorRotatedInto != RotL+Xor", size, k)
+		}
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := NewBits(128)
+	b := NewBits(128)
+	b.Set(0, true)
+	b.Set(64, true)
+	b.Set(127, true)
+	if d := a.HammingDistance(b); d != 3 {
+		t.Fatalf("distance = %d, want 3", d)
+	}
+}
+
+func TestBitsProperty_XorSelfIsZero(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		rng := rand.New(rand.NewPCG(seed, 0))
+		b := RandomBits(n, rng)
+		c := b.Clone()
+		c.XorInPlace(b)
+		return c.PopCount() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsProperty_RotationPreservesDistance(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint16) bool {
+		n := int(nRaw%1000) + 2
+		k := int(kRaw) % n
+		rng := rand.New(rand.NewPCG(seed, 1))
+		a := RandomBits(n, rng)
+		b := RandomBits(n, rng)
+		return a.RotL(k).HammingDistance(b.RotL(k)) == a.HammingDistance(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package ldpc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// testCode returns a small code (fast) with the paper's 4×36 block
+// shape but a reduced circulant.
+func testCode() *Code { return NewCode(4, 36, 64, 7) }
+
+func TestCodeDimensions(t *testing.T) {
+	cd := testCode()
+	if cd.N() != 36*64 || cd.M() != 4*64 || cd.K() != 32*64 {
+		t.Fatalf("N=%d M=%d K=%d", cd.N(), cd.M(), cd.K())
+	}
+	if r := cd.Rate(); r != 32.0/36.0 {
+		t.Fatalf("rate = %v", r)
+	}
+	if cd.DataBlocks() != 32 {
+		t.Fatalf("data blocks = %d", cd.DataBlocks())
+	}
+}
+
+func TestPaperCodeDimensions(t *testing.T) {
+	cd := NewPaperCode(1)
+	if cd.N() != 36864 {
+		t.Fatalf("paper N = %d, want 36864", cd.N())
+	}
+	if cd.K() != 32768 {
+		t.Fatalf("paper K = %d, want 32768 (4 KiB)", cd.K())
+	}
+	if cd.M() != 4096 {
+		t.Fatalf("paper M = %d, want 4096", cd.M())
+	}
+}
+
+func TestInvalidCodePanics(t *testing.T) {
+	for _, dims := range [][3]int{{1, 36, 64}, {4, 4, 64}, {4, 36, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCode%v did not panic", dims)
+				}
+			}()
+			NewCode(dims[0], dims[1], dims[2], 0)
+		}()
+	}
+}
+
+func TestEncodeProducesValidCodeword(t *testing.T) {
+	cd := testCode()
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 10; trial++ {
+		data := RandomBits(cd.K(), rng)
+		cw := cd.Encode(data)
+		if w := cd.SyndromeWeight(cw); w != 0 {
+			t.Fatalf("trial %d: syndrome weight of valid codeword = %d", trial, w)
+		}
+		if !cd.ExtractData(cw).Equal(data) {
+			t.Fatalf("trial %d: encoding is not systematic", trial)
+		}
+	}
+}
+
+func TestZeroDataEncodesToZero(t *testing.T) {
+	cd := testCode()
+	cw := cd.Encode(NewBits(cd.K()))
+	if cw.PopCount() != 0 {
+		t.Fatal("all-zero data must encode to the all-zero codeword")
+	}
+}
+
+func TestSyndromeDetectsSingleError(t *testing.T) {
+	cd := testCode()
+	rng := rand.New(rand.NewPCG(2, 2))
+	cw := cd.Encode(RandomBits(cd.K(), rng))
+	for _, pos := range []int{0, 1, cd.T, cd.K() - 1, cd.K(), cd.N() - 1} {
+		bad := cw.Clone()
+		bad.Flip(pos)
+		w := cd.SyndromeWeight(bad)
+		deg := cd.VarDegree(pos)
+		// A single error makes exactly deg(v) checks unsatisfied.
+		if w != deg {
+			t.Fatalf("pos %d: syndrome weight %d, want var degree %d", pos, w, deg)
+		}
+	}
+}
+
+func TestVarDegrees(t *testing.T) {
+	cd := testCode()
+	// Every data column participates in all 4 block rows.
+	for v := 0; v < cd.K(); v += cd.T/2 + 1 {
+		if d := cd.VarDegree(v); d != 4 {
+			t.Fatalf("data var %d degree = %d, want 4", v, d)
+		}
+	}
+	// Dual-diagonal parity: p_0..p_{R-2} have degree 2, the last has 1.
+	for i := 0; i < cd.R; i++ {
+		v := cd.K() + i*cd.T
+		want := 2
+		if i == cd.R-1 {
+			want = 1
+		}
+		if d := cd.VarDegree(v); d != want {
+			t.Fatalf("parity block %d degree = %d, want %d", i, d, want)
+		}
+	}
+}
+
+func TestCheckDegrees(t *testing.T) {
+	cd := testCode()
+	// Block row 0 checks touch 32 data blocks + p0 = 33 variables.
+	if d := cd.CheckDegree(0); d != 33 {
+		t.Fatalf("row-0 check degree = %d, want 33", d)
+	}
+	// Middle block rows touch 32 data + 2 parity = 34.
+	if d := cd.CheckDegree(cd.T); d != 34 {
+		t.Fatalf("row-1 check degree = %d, want 34", d)
+	}
+}
+
+func TestSyndromeMatchesAdjacency(t *testing.T) {
+	// The fast circulant syndrome must agree with a naive computation
+	// from the Tanner adjacency.
+	cd := NewCode(4, 12, 32, 9)
+	rng := rand.New(rand.NewPCG(3, 3))
+	cw := FlipRandom(cd.Encode(RandomBits(cd.K(), rng)), 0.02, rng)
+	fast := cd.Syndrome(cw)
+	checkVars, _ := cd.adjacency()
+	for m := 0; m < cd.M(); m++ {
+		parity := false
+		for _, v := range checkVars[m] {
+			if cw.Get(int(v)) {
+				parity = !parity
+			}
+		}
+		if fast.Get(m) != parity {
+			t.Fatalf("syndrome bit %d: fast=%v naive=%v", m, fast.Get(m), parity)
+		}
+	}
+}
+
+func TestFirstRowSyndromeWeightMatchesFullRow(t *testing.T) {
+	cd := testCode()
+	rng := rand.New(rand.NewPCG(4, 4))
+	cw := FlipRandom(cd.Encode(RandomBits(cd.K(), rng)), 0.01, rng)
+	full := cd.Syndrome(cw)
+	row0 := NewBits(cd.T)
+	full.Segment(row0, 0, cd.T)
+	if got, want := cd.FirstRowSyndromeWeight(cw), row0.PopCount(); got != want {
+		t.Fatalf("pruned weight = %d, want %d", got, want)
+	}
+}
+
+func TestEncodeProperty_AlwaysValid(t *testing.T) {
+	cd := NewCode(4, 12, 32, 11)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		return cd.SyndromeWeight(cd.Encode(RandomBits(cd.K(), rng))) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeProperty_Linear(t *testing.T) {
+	// Encode(a) XOR Encode(b) == Encode(a XOR b): the code is linear.
+	cd := NewCode(4, 12, 32, 13)
+	f := func(s1, s2 uint64) bool {
+		r1 := rand.New(rand.NewPCG(s1, 6))
+		r2 := rand.New(rand.NewPCG(s2, 7))
+		a := RandomBits(cd.K(), r1)
+		b := RandomBits(cd.K(), r2)
+		sum := a.Clone()
+		sum.XorInPlace(b)
+		want := cd.Encode(a)
+		want.XorInPlace(cd.Encode(b))
+		return cd.Encode(sum).Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package ldpc
+
+import "math"
+
+// DefaultMaxIterations is the decoding iteration cap used in the paper
+// (§II-B1: "a preset maximum number of iterations (e.g., 20)").
+const DefaultMaxIterations = 20
+
+// Result reports the outcome of a decode attempt.
+type Result struct {
+	// OK is true when every parity check is satisfied.
+	OK bool
+	// Iterations is the number of message-passing (or bit-flipping)
+	// rounds executed, in [1, max]. The paper maps this to tECC.
+	Iterations int
+	// Word is the corrected codeword (equal to the input when OK is
+	// false and no useful correction was found).
+	Word Bits
+}
+
+// MinSumDecoder is a normalized min-sum LDPC decoder operating on
+// hard-decision channel outputs (the flash read path senses hard
+// bits). The zero value is not usable; construct with NewMinSumDecoder.
+type MinSumDecoder struct {
+	code    *Code
+	maxIter int
+	alpha   float32 // normalization factor
+
+	// Flattened Tanner graph, edges grouped by check.
+	edgeVar  []int32
+	checkOff []int32
+	varEdges [][]int32
+
+	// Per-decode scratch, reused across calls. The decoder is NOT safe
+	// for concurrent use; create one per goroutine.
+	ctv   []float32
+	total []float32
+}
+
+// NewMinSumDecoder builds a decoder for the code with the given
+// iteration cap (0 means DefaultMaxIterations).
+func NewMinSumDecoder(code *Code, maxIter int) *MinSumDecoder {
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	checkVars, _ := code.adjacency()
+	var edgeVar []int32
+	checkOff := make([]int32, len(checkVars)+1)
+	for m, vars := range checkVars {
+		checkOff[m] = int32(len(edgeVar))
+		edgeVar = append(edgeVar, vars...)
+	}
+	checkOff[len(checkVars)] = int32(len(edgeVar))
+	varEdges := make([][]int32, code.N())
+	for e, v := range edgeVar {
+		varEdges[v] = append(varEdges[v], int32(e))
+	}
+	return &MinSumDecoder{
+		code:     code,
+		maxIter:  maxIter,
+		alpha:    0.75,
+		edgeVar:  edgeVar,
+		checkOff: checkOff,
+		varEdges: varEdges,
+		ctv:      make([]float32, len(edgeVar)),
+		total:    make([]float32, code.N()),
+	}
+}
+
+// MaxIterations reports the decoder's iteration cap.
+func (d *MinSumDecoder) MaxIterations() int { return d.maxIter }
+
+// Decode attempts to correct the received hard-decision codeword.
+// The input is not modified.
+func (d *MinSumDecoder) Decode(received Bits) Result {
+	n := d.code.N()
+	if received.Len() != n {
+		panic("ldpc: received length mismatch")
+	}
+	// Hard input: the sign carries all the information.
+	llrs := make([]float32, n)
+	for v := 0; v < n; v++ {
+		if received.Get(v) {
+			llrs[v] = -1
+		} else {
+			llrs[v] = 1
+		}
+	}
+	return d.DecodeSoft(llrs)
+}
+
+// DecodeSoft attempts to correct a codeword from per-bit channel
+// log-likelihood ratios (positive = bit 0 more likely). Soft inputs —
+// obtained by extra senses at offset read voltages — let the decoder
+// correct pages beyond the hard-decision capability, the modern
+// last-resort retry step.
+func (d *MinSumDecoder) DecodeSoft(llrs []float32) Result {
+	n := d.code.N()
+	if len(llrs) != n {
+		panic("ldpc: llr length mismatch")
+	}
+	for i := range d.ctv {
+		d.ctv[i] = 0
+	}
+	work := NewBits(n)
+
+	for iter := 1; iter <= d.maxIter; iter++ {
+		// Variable update: total belief per bit.
+		for v := 0; v < n; v++ {
+			t := llrs[v]
+			for _, e := range d.varEdges[v] {
+				t += d.ctv[e]
+			}
+			d.total[v] = t
+			work.Set(v, t < 0)
+		}
+		if d.satisfied(work) {
+			return Result{OK: true, Iterations: iter, Word: work}
+		}
+		// Check update: normalized min-sum.
+		for m := 0; m < d.code.M(); m++ {
+			lo, hi := d.checkOff[m], d.checkOff[m+1]
+			min1 := float32(math.MaxFloat32)
+			min2 := float32(math.MaxFloat32)
+			minIdx := int32(-1)
+			signProd := float32(1)
+			for e := lo; e < hi; e++ {
+				vtc := d.total[d.edgeVar[e]] - d.ctv[e]
+				if vtc < 0 {
+					signProd = -signProd
+				}
+				mag := vtc
+				if mag < 0 {
+					mag = -mag
+				}
+				if mag < min1 {
+					min2 = min1
+					min1 = mag
+					minIdx = e
+				} else if mag < min2 {
+					min2 = mag
+				}
+			}
+			for e := lo; e < hi; e++ {
+				vtc := d.total[d.edgeVar[e]] - d.ctv[e]
+				sgn := signProd
+				if vtc < 0 {
+					sgn = -sgn
+				}
+				mag := min1
+				if e == minIdx {
+					mag = min2
+				}
+				d.ctv[e] = d.alpha * sgn * mag
+			}
+		}
+	}
+	// Final hard decision after the last check update.
+	for v := 0; v < n; v++ {
+		t := llrs[v]
+		for _, e := range d.varEdges[v] {
+			t += d.ctv[e]
+		}
+		work.Set(v, t < 0)
+	}
+	if d.satisfied(work) {
+		return Result{OK: true, Iterations: d.maxIter, Word: work}
+	}
+	return Result{OK: false, Iterations: d.maxIter, Word: work}
+}
+
+func (d *MinSumDecoder) satisfied(cw Bits) bool {
+	// Cheap full-syndrome check via the circulant structure.
+	for _, w := range d.code.Syndrome(cw).words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BitFlipDecoder is a Gallager-style hard-decision bit-flipping
+// decoder: cheap, lower-threshold than min-sum. It serves as the
+// baseline decoder model and for cross-checking the min-sum decoder.
+type BitFlipDecoder struct {
+	code    *Code
+	maxIter int
+}
+
+// NewBitFlipDecoder builds a bit-flipping decoder (0 means
+// DefaultMaxIterations).
+func NewBitFlipDecoder(code *Code, maxIter int) *BitFlipDecoder {
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	return &BitFlipDecoder{code: code, maxIter: maxIter}
+}
+
+// Decode attempts to correct the received word by flipping bits that
+// participate in a majority of unsatisfied checks.
+func (d *BitFlipDecoder) Decode(received Bits) Result {
+	checkVars, varChecks := d.code.adjacency()
+	work := received.Clone()
+	unsat := make([]uint8, d.code.N())
+	for iter := 1; iter <= d.maxIter; iter++ {
+		syn := d.code.Syndrome(work)
+		if syn.PopCount() == 0 {
+			return Result{OK: true, Iterations: iter, Word: work}
+		}
+		for i := range unsat {
+			unsat[i] = 0
+		}
+		for m := 0; m < d.code.M(); m++ {
+			if !syn.Get(m) {
+				continue
+			}
+			for _, v := range checkVars[m] {
+				unsat[v]++
+			}
+		}
+		flipped := false
+		for v := 0; v < d.code.N(); v++ {
+			deg := len(varChecks[v])
+			if deg > 0 && int(unsat[v])*2 > deg {
+				work.Flip(v)
+				flipped = true
+			}
+		}
+		if !flipped {
+			// Stuck: flip the single worst bit to perturb, or give up.
+			best, bestCount := -1, 0
+			for v := 0; v < d.code.N(); v++ {
+				if int(unsat[v]) > bestCount {
+					best, bestCount = v, int(unsat[v])
+				}
+			}
+			if best < 0 {
+				break
+			}
+			work.Flip(best)
+		}
+	}
+	if d.code.SyndromeWeight(work) == 0 {
+		return Result{OK: true, Iterations: d.maxIter, Word: work}
+	}
+	return Result{OK: false, Iterations: d.maxIter, Word: work}
+}

@@ -1,0 +1,47 @@
+package ldpc
+
+import "fmt"
+
+// Encode produces a systematic codeword for the K data bits in data:
+// the data segments followed by R parity segments. Thanks to the
+// dual-diagonal parity structure, parity block i is the running XOR of
+// the data-portion syndromes of block rows 0..i:
+//
+//	p_i = p_{i-1} ⊕ Σ_j rotl(d_j, shift[i][j])
+func (cd *Code) Encode(data Bits) Bits {
+	if data.Len() != cd.K() {
+		panic(fmt.Sprintf("ldpc: data length %d, want %d", data.Len(), cd.K()))
+	}
+	cw := NewBits(cd.N())
+	cw.SetSegment(data, 0, cd.K())
+
+	dataCols := cd.DataBlocks()
+	acc := NewBits(cd.T) // running parity accumulator p_i
+	rowSyn := NewBits(cd.T)
+	seg := NewBits(cd.T)
+	scratch := NewBits(cd.T)
+	for i := 0; i < cd.R; i++ {
+		rowSyn.Zero()
+		for j := 0; j < dataCols; j++ {
+			sh := cd.Shifts[i][j]
+			if sh == ZeroBlock {
+				continue
+			}
+			data.Segment(seg, j*cd.T, cd.T)
+			xorRotatedInto(rowSyn, seg, scratch, sh)
+		}
+		acc.XorInPlace(rowSyn)
+		cw.SetSegment(acc, (dataCols+i)*cd.T, cd.T)
+	}
+	return cw
+}
+
+// ExtractData returns the K data bits of a systematic codeword.
+func (cd *Code) ExtractData(cw Bits) Bits {
+	if cw.Len() != cd.N() {
+		panic(fmt.Sprintf("ldpc: codeword length %d, want %d", cw.Len(), cd.N()))
+	}
+	d := NewBits(cd.K())
+	cw.Segment(d, 0, cd.K())
+	return d
+}

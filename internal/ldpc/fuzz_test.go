@@ -1,0 +1,26 @@
+package ldpc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadAlistStats exercises the alist parser on arbitrary input:
+// it must never panic, and whatever it accepts must be consistent.
+func FuzzReadAlistStats(f *testing.F) {
+	f.Add("4 2\n1 2\n1 1 1 1\n2 2\n")
+	f.Add("")
+	f.Add("1 1\n1 1\n1\n1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadAlistStats(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if s.N <= 0 || s.M <= 0 || s.Edges < 0 {
+			t.Fatalf("invalid stats accepted: %+v", s)
+		}
+		if s.Edges > s.N*s.MaxVarDeg {
+			t.Fatalf("edge count exceeds bound: %+v", s)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package ldpc
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// ZeroBlock marks an all-zero circulant block in the shift table.
+const ZeroBlock = -1
+
+// Code describes a QC-LDPC code. The parity-check matrix H is an
+// R-by-C block matrix of T×T circulants; block (i,j) is the identity
+// cyclically shifted right by Shifts[i][j], or zero when Shifts[i][j]
+// == ZeroBlock (Fig. 13 of the paper).
+//
+// The layout is systematic: the first C-R block columns carry data,
+// the last R block columns carry parity. The parity region is block
+// dual-diagonal (identity blocks on the diagonal and first
+// sub-diagonal) so encoding is a linear-time accumulation.
+type Code struct {
+	R, C, T int
+	Shifts  [][]int
+
+	// checkVars[m] lists the variable (codeword bit) indices
+	// participating in parity check m; built lazily by adjacency().
+	checkVars [][]int32
+	varChecks [][]int32
+}
+
+// PaperCode are the block dimensions of the 4-KiB QC-LDPC used in the
+// paper: a 4×36 block matrix of 1024×1024 circulants (footnote 6),
+// giving a 36864-bit codeword with 32768 data bits.
+const (
+	PaperBlockRows = 4
+	PaperBlockCols = 36
+	PaperCirculant = 1024
+)
+
+// NewPaperCode builds the paper-scale code. It is large; tests and
+// quick experiments usually use NewCode with a smaller T.
+func NewPaperCode(seed uint64) *Code {
+	return NewCode(PaperBlockRows, PaperBlockCols, PaperCirculant, seed)
+}
+
+// NewCode constructs a QC-LDPC code with r block rows, c block columns
+// and circulant size t. Data-block shifts are drawn deterministically
+// from seed; the parity region is dual-diagonal with zero shifts.
+func NewCode(r, c, t int, seed uint64) *Code {
+	if r < 2 || c <= r || t < 2 {
+		panic(fmt.Sprintf("ldpc: invalid code dimensions r=%d c=%d t=%d", r, c, t))
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x1dbc))
+	shifts := make([][]int, r)
+	dataCols := c - r
+	for i := range shifts {
+		shifts[i] = make([]int, c)
+		for j := 0; j < dataCols; j++ {
+			shifts[i][j] = rng.IntN(t)
+		}
+		for j := dataCols; j < c; j++ {
+			shifts[i][j] = ZeroBlock
+		}
+	}
+	// Dual-diagonal parity: p_i appears in rows i and i+1 with shift 0.
+	for i := 0; i < r; i++ {
+		shifts[i][dataCols+i] = 0
+		if i+1 < r {
+			shifts[i+1][dataCols+i] = 0
+		}
+	}
+	return &Code{R: r, C: c, T: t, Shifts: shifts}
+}
+
+// N reports the codeword length in bits.
+func (cd *Code) N() int { return cd.C * cd.T }
+
+// M reports the number of parity checks.
+func (cd *Code) M() int { return cd.R * cd.T }
+
+// K reports the number of data bits.
+func (cd *Code) K() int { return (cd.C - cd.R) * cd.T }
+
+// Rate reports the code rate K/N.
+func (cd *Code) Rate() float64 { return float64(cd.K()) / float64(cd.N()) }
+
+// DataBlocks reports the number of data block columns.
+func (cd *Code) DataBlocks() int { return cd.C - cd.R }
+
+// Syndrome computes S = H·cw over GF(2), one bit per parity check.
+// Block row i contributes S_i = Σ_j rotl(seg_j, shift[i][j]).
+func (cd *Code) Syndrome(cw Bits) Bits {
+	if cw.Len() != cd.N() {
+		panic(fmt.Sprintf("ldpc: codeword length %d, want %d", cw.Len(), cd.N()))
+	}
+	s := NewBits(cd.M())
+	acc := NewBits(cd.T)
+	seg := NewBits(cd.T)
+	scratch := NewBits(cd.T)
+	for i := 0; i < cd.R; i++ {
+		acc.Zero()
+		for j := 0; j < cd.C; j++ {
+			sh := cd.Shifts[i][j]
+			if sh == ZeroBlock {
+				continue
+			}
+			cw.Segment(seg, j*cd.T, cd.T)
+			xorRotatedInto(acc, seg, scratch, sh)
+		}
+		s.SetSegment(acc, i*cd.T, cd.T)
+	}
+	return s
+}
+
+// SyndromeWeight reports the Hamming weight of the full syndrome
+// vector: the quantity Fig. 10 correlates against RBER.
+func (cd *Code) SyndromeWeight(cw Bits) int {
+	return cd.Syndrome(cw).PopCount()
+}
+
+// FirstRowSyndromeWeight reports the weight of only the first T
+// syndromes (block row 0). This is the syndrome-pruning approximation
+// of §V-A2: the remaining block rows "merely reconfigure the bit
+// arrangements of the first t syndromes".
+func (cd *Code) FirstRowSyndromeWeight(cw Bits) int {
+	if cw.Len() != cd.N() {
+		panic(fmt.Sprintf("ldpc: codeword length %d, want %d", cw.Len(), cd.N()))
+	}
+	acc := NewBits(cd.T)
+	seg := NewBits(cd.T)
+	scratch := NewBits(cd.T)
+	for j := 0; j < cd.C; j++ {
+		sh := cd.Shifts[0][j]
+		if sh == ZeroBlock {
+			continue
+		}
+		cw.Segment(seg, j*cd.T, cd.T)
+		xorRotatedInto(acc, seg, scratch, sh)
+	}
+	return acc.PopCount()
+}
+
+// adjacency builds (and caches) the sparse Tanner-graph adjacency.
+func (cd *Code) adjacency() ([][]int32, [][]int32) {
+	if cd.checkVars != nil {
+		return cd.checkVars, cd.varChecks
+	}
+	m := cd.M()
+	n := cd.N()
+	checkVars := make([][]int32, m)
+	varChecks := make([][]int32, n)
+	for bi := 0; bi < cd.R; bi++ {
+		for bj := 0; bj < cd.C; bj++ {
+			sh := cd.Shifts[bi][bj]
+			if sh == ZeroBlock {
+				continue
+			}
+			// Circulant Q(sh): row k of the block has a 1 in column
+			// (k+sh) mod T. Check (bi*T + k) touches variable
+			// bj*T + (k+sh)%T.
+			for k := 0; k < cd.T; k++ {
+				check := int32(bi*cd.T + k)
+				v := int32(bj*cd.T + (k+sh)%cd.T)
+				checkVars[check] = append(checkVars[check], v)
+				varChecks[v] = append(varChecks[v], check)
+			}
+		}
+	}
+	cd.checkVars = checkVars
+	cd.varChecks = varChecks
+	return checkVars, varChecks
+}
+
+// CheckDegree reports the number of variables in parity check m.
+func (cd *Code) CheckDegree(m int) int {
+	cv, _ := cd.adjacency()
+	return len(cv[m])
+}
+
+// VarDegree reports the number of checks touching variable v.
+func (cd *Code) VarDegree(v int) int {
+	_, vc := cd.adjacency()
+	return len(vc[v])
+}

@@ -1,0 +1,62 @@
+package ldpc
+
+// Rearrange applies the codeword layout transformation of §V-B
+// (Fig. 15): every segment j participating in block row 0 is rotated
+// left by Shifts[0][j], which turns each first-row circulant into a
+// logical identity matrix. On the rearranged layout, the pruned
+// syndrome computation degenerates to a plain XOR of segments — the
+// form the on-die RP hardware implements (Fig. 16).
+//
+// The flash controller applies Rearrange after ECC encoding (before
+// programming) and Restore before ECC decoding (after reading).
+func (cd *Code) Rearrange(cw Bits) Bits {
+	return cd.rotateSegments(cw, false)
+}
+
+// Restore inverts Rearrange, recovering the original codeword layout
+// expected by the LDPC decoder.
+func (cd *Code) Restore(cw Bits) Bits {
+	return cd.rotateSegments(cw, true)
+}
+
+func (cd *Code) rotateSegments(cw Bits, inverse bool) Bits {
+	if cw.Len() != cd.N() {
+		panic("ldpc: rearrange length mismatch")
+	}
+	out := NewBits(cd.N())
+	seg := NewBits(cd.T)
+	for j := 0; j < cd.C; j++ {
+		sh := cd.Shifts[0][j]
+		cw.Segment(seg, j*cd.T, cd.T)
+		if sh == ZeroBlock || sh == 0 {
+			out.SetSegment(seg, j*cd.T, cd.T)
+			continue
+		}
+		k := sh
+		if inverse {
+			k = cd.T - sh
+		}
+		out.SetSegment(seg.RotL(k), j*cd.T, cd.T)
+	}
+	return out
+}
+
+// RearrangedPrunedWeight computes the first-block-row syndrome weight
+// directly on a rearranged codeword: XOR all participating segments
+// and count ones — exactly the RP datapath of Fig. 16 (segment
+// register → XOR → weight counter → accumulator).
+func (cd *Code) RearrangedPrunedWeight(rearranged Bits) int {
+	if rearranged.Len() != cd.N() {
+		panic("ldpc: rearranged length mismatch")
+	}
+	acc := NewBits(cd.T)
+	seg := NewBits(cd.T)
+	for j := 0; j < cd.C; j++ {
+		if cd.Shifts[0][j] == ZeroBlock {
+			continue
+		}
+		rearranged.Segment(seg, j*cd.T, cd.T)
+		acc.XorInPlace(seg)
+	}
+	return acc.PopCount()
+}

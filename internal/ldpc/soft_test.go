@@ -1,0 +1,103 @@
+package ldpc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestDecodeSoftMatchesHardOnUniformLLRs(t *testing.T) {
+	// With constant-magnitude LLRs whose signs equal the hard word,
+	// DecodeSoft must agree with Decode exactly.
+	cd := testCode()
+	rng := rand.New(rand.NewPCG(1, 30))
+	for trial := 0; trial < 5; trial++ {
+		bad := FlipExact(cd.Encode(RandomBits(cd.K(), rng)), 20, rng)
+		llrs := make([]float32, cd.N())
+		for v := 0; v < cd.N(); v++ {
+			if bad.Get(v) {
+				llrs[v] = -1
+			} else {
+				llrs[v] = 1
+			}
+		}
+		h := NewMinSumDecoder(cd, 0).Decode(bad)
+		s := NewMinSumDecoder(cd, 0).DecodeSoft(llrs)
+		if h.OK != s.OK || h.Iterations != s.Iterations || !h.Word.Equal(s.Word) {
+			t.Fatalf("trial %d: soft/hard divergence", trial)
+		}
+	}
+}
+
+func TestSoftDecodingExtendsCapability(t *testing.T) {
+	// At an RBER just above the hard capability, reliable soft
+	// information must rescue most pages hard decoding loses.
+	cd := testCode()
+	pts := MeasureSoftGain(cd, []float64{0.010}, 40, 7)
+	p := pts[0]
+	if p.HardFail < 0.5 {
+		t.Fatalf("hard decoding unexpectedly strong at 0.010: %v", p.HardFail)
+	}
+	if p.SoftFail > p.HardFail/2 {
+		t.Fatalf("soft decoding gained too little: hard %v soft %v", p.HardFail, p.SoftFail)
+	}
+}
+
+func TestSoftGainMonotone(t *testing.T) {
+	cd := testCode()
+	pts := MeasureSoftGain(cd, []float64{0.006, 0.02, 0.035}, 20, 9)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SoftFail < pts[i-1].SoftFail-0.15 {
+			t.Fatalf("soft failure not roughly monotone: %+v", pts)
+		}
+	}
+	// Everything fails far beyond even the soft capability.
+	if pts[2].SoftFail < 0.9 {
+		t.Fatalf("soft decoding too strong at RBER 0.035: %v", pts[2].SoftFail)
+	}
+}
+
+func TestSoftChannelObserveConsistency(t *testing.T) {
+	cd := testCode()
+	rng := rand.New(rand.NewPCG(2, 30))
+	cw := cd.Encode(RandomBits(cd.K(), rng))
+	ch := DefaultSoftChannel(0.01)
+	hard, llrs := ch.Observe(cw, rng)
+	if len(llrs) != cd.N() {
+		t.Fatal("llr length wrong")
+	}
+	weakErr, strongErr := 0, 0
+	for v := 0; v < cd.N(); v++ {
+		// Sign must match the hard word.
+		if (llrs[v] < 0) != hard.Get(v) {
+			t.Fatalf("llr sign mismatch at %d", v)
+		}
+		if hard.Get(v) != cw.Get(v) {
+			if mag := abs32(llrs[v]); mag == float32(ch.WeakLLR) {
+				weakErr++
+			} else {
+				strongErr++
+			}
+		}
+	}
+	if weakErr <= strongErr {
+		t.Fatalf("errors not concentrated in the weak zone: %d weak, %d strong", weakErr, strongErr)
+	}
+}
+
+func TestSoftCapabilityAboveHard(t *testing.T) {
+	cd := NewCode(4, 36, 128, 7) // small for speed
+	soft := SoftCapability(cd, 12, 3)
+	if soft <= 0.0085 {
+		t.Fatalf("soft capability %v not above the hard capability", soft)
+	}
+	if soft > 0.05 {
+		t.Fatalf("soft capability %v implausibly high", soft)
+	}
+}
+
+func abs32(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,140 @@
+// Package nand models 3D TLC NAND flash memory: device geometry, the
+// threshold-voltage (Vth) reliability physics that drive raw bit error
+// rates, read-reference voltage (VREF) adjustment including the
+// Swift-Read estimator, data randomization, and operation timing.
+//
+// The model is calibrated against the characterization results the
+// RiF paper reports for 160 real 3D TLC chips (Figs. 4 and 12): the
+// retention time at which a page's RBER crosses the ECC correction
+// capability, as a function of P/E cycles, and the RBER similarity of
+// fixed-size chunks within a 16-KiB page.
+package nand
+
+import "fmt"
+
+// Geometry describes the physical organization of the simulated SSD's
+// flash array (Table I of the paper).
+type Geometry struct {
+	Channels       int // independent flash channels
+	DiesPerChan    int // dies sharing one channel and one ECC engine
+	PlanesPerDie   int // planes operating in parallel within a die
+	BlocksPerPlane int
+	PagesPerBlock  int
+	PageBytes      int // user data bytes per page
+}
+
+// PaperGeometry is the Table I configuration: a 2-TiB SSD with 8
+// channels, 4 dies/channel, 4 planes/die, 1888 blocks/plane and 576
+// 16-KiB pages/block.
+func PaperGeometry() Geometry {
+	return Geometry{
+		Channels:       8,
+		DiesPerChan:    4,
+		PlanesPerDie:   4,
+		BlocksPerPlane: 1888,
+		PagesPerBlock:  576,
+		PageBytes:      16 * 1024,
+	}
+}
+
+// Validate reports an error when any dimension is non-positive.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return fmt.Errorf("nand: channels = %d", g.Channels)
+	case g.DiesPerChan <= 0:
+		return fmt.Errorf("nand: dies/channel = %d", g.DiesPerChan)
+	case g.PlanesPerDie <= 0:
+		return fmt.Errorf("nand: planes/die = %d", g.PlanesPerDie)
+	case g.BlocksPerPlane <= 0:
+		return fmt.Errorf("nand: blocks/plane = %d", g.BlocksPerPlane)
+	case g.PagesPerBlock <= 0:
+		return fmt.Errorf("nand: pages/block = %d", g.PagesPerBlock)
+	case g.PageBytes <= 0:
+		return fmt.Errorf("nand: page bytes = %d", g.PageBytes)
+	}
+	return nil
+}
+
+// TotalDies reports the number of dies in the array.
+func (g Geometry) TotalDies() int { return g.Channels * g.DiesPerChan }
+
+// TotalBlocks reports the number of physical blocks in the array.
+func (g Geometry) TotalBlocks() int {
+	return g.TotalDies() * g.PlanesPerDie * g.BlocksPerPlane
+}
+
+// TotalPages reports the number of physical pages in the array.
+func (g Geometry) TotalPages() int { return g.TotalBlocks() * g.PagesPerBlock }
+
+// CapacityBytes reports the raw capacity in bytes.
+func (g Geometry) CapacityBytes() int64 {
+	return int64(g.TotalPages()) * int64(g.PageBytes)
+}
+
+// PageType identifies which bit of a TLC wordline a page stores.
+// The read-reference voltages needed, and hence Sentinel's extra-read
+// behaviour, depend on it.
+type PageType uint8
+
+const (
+	LSB PageType = iota // read with VREF 1 and 5
+	CSB                 // read with VREF 2, 4 and 6
+	MSB                 // read with VREF 3 and 7
+)
+
+// String names the page type.
+func (p PageType) String() string {
+	switch p {
+	case LSB:
+		return "LSB"
+	case CSB:
+		return "CSB"
+	case MSB:
+		return "MSB"
+	}
+	return fmt.Sprintf("PageType(%d)", uint8(p))
+}
+
+// PageTypeOf reports the page type of the page at the given index in
+// its block, following the usual LSB/CSB/MSB interleaving of TLC
+// wordlines.
+func PageTypeOf(pageInBlock int) PageType {
+	return PageType(pageInBlock % 3)
+}
+
+// Address locates a physical page.
+type Address struct {
+	Channel int
+	Die     int
+	Plane   int
+	Block   int
+	Page    int
+}
+
+// BlockID flattens the block coordinates into a dense index for
+// per-block metadata arrays.
+func (g Geometry) BlockID(a Address) int {
+	return ((a.Channel*g.DiesPerChan+a.Die)*g.PlanesPerDie+a.Plane)*g.BlocksPerPlane + a.Block
+}
+
+// DieID flattens (channel, die) into a dense index.
+func (g Geometry) DieID(a Address) int { return a.Channel*g.DiesPerChan + a.Die }
+
+// PPN flattens the full page address into a dense physical page number.
+func (g Geometry) PPN(a Address) int64 {
+	return int64(g.BlockID(a))*int64(g.PagesPerBlock) + int64(a.Page)
+}
+
+// AddressOfPPN inverts PPN.
+func (g Geometry) AddressOfPPN(ppn int64) Address {
+	page := int(ppn % int64(g.PagesPerBlock))
+	bid := int(ppn / int64(g.PagesPerBlock))
+	block := bid % g.BlocksPerPlane
+	bid /= g.BlocksPerPlane
+	plane := bid % g.PlanesPerDie
+	bid /= g.PlanesPerDie
+	die := bid % g.DiesPerChan
+	ch := bid / g.DiesPerChan
+	return Address{Channel: ch, Die: die, Plane: plane, Block: block, Page: page}
+}

@@ -1,0 +1,126 @@
+package nand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperGeometryMatchesTableI(t *testing.T) {
+	g := PaperGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Channels != 8 || g.DiesPerChan != 4 || g.PlanesPerDie != 4 {
+		t.Fatalf("wrong array shape: %+v", g)
+	}
+	if g.BlocksPerPlane != 1888 || g.PagesPerBlock != 576 || g.PageBytes != 16*1024 {
+		t.Fatalf("wrong block shape: %+v", g)
+	}
+	// Table I: 2-TiB total capacity.
+	wantTiB := float64(g.CapacityBytes()) / (1 << 40)
+	if wantTiB < 1.9 || wantTiB > 2.1 {
+		t.Fatalf("capacity = %.3f TiB, want ~2", wantTiB)
+	}
+}
+
+func TestGeometryCounts(t *testing.T) {
+	g := Geometry{Channels: 2, DiesPerChan: 3, PlanesPerDie: 4, BlocksPerPlane: 5, PagesPerBlock: 6, PageBytes: 7}
+	if g.TotalDies() != 6 {
+		t.Fatalf("TotalDies = %d", g.TotalDies())
+	}
+	if g.TotalBlocks() != 2*3*4*5 {
+		t.Fatalf("TotalBlocks = %d", g.TotalBlocks())
+	}
+	if g.TotalPages() != 2*3*4*5*6 {
+		t.Fatalf("TotalPages = %d", g.TotalPages())
+	}
+	if g.CapacityBytes() != int64(2*3*4*5*6*7) {
+		t.Fatalf("CapacityBytes = %d", g.CapacityBytes())
+	}
+}
+
+func TestGeometryValidateRejectsBadDims(t *testing.T) {
+	good := PaperGeometry()
+	mutations := []func(*Geometry){
+		func(g *Geometry) { g.Channels = 0 },
+		func(g *Geometry) { g.DiesPerChan = -1 },
+		func(g *Geometry) { g.PlanesPerDie = 0 },
+		func(g *Geometry) { g.BlocksPerPlane = 0 },
+		func(g *Geometry) { g.PagesPerBlock = 0 },
+		func(g *Geometry) { g.PageBytes = 0 },
+	}
+	for i, mut := range mutations {
+		g := good
+		mut(&g)
+		if g.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPPNRoundTrip(t *testing.T) {
+	g := Geometry{Channels: 3, DiesPerChan: 2, PlanesPerDie: 4, BlocksPerPlane: 7, PagesPerBlock: 9, PageBytes: 4096}
+	f := func(chRaw, dieRaw, plRaw, blkRaw, pgRaw uint8) bool {
+		a := Address{
+			Channel: int(chRaw) % g.Channels,
+			Die:     int(dieRaw) % g.DiesPerChan,
+			Plane:   int(plRaw) % g.PlanesPerDie,
+			Block:   int(blkRaw) % g.BlocksPerPlane,
+			Page:    int(pgRaw) % g.PagesPerBlock,
+		}
+		return g.AddressOfPPN(g.PPN(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPPNDense(t *testing.T) {
+	g := Geometry{Channels: 2, DiesPerChan: 2, PlanesPerDie: 2, BlocksPerPlane: 2, PagesPerBlock: 2, PageBytes: 1}
+	seen := make(map[int64]bool)
+	for ch := 0; ch < 2; ch++ {
+		for die := 0; die < 2; die++ {
+			for pl := 0; pl < 2; pl++ {
+				for blk := 0; blk < 2; blk++ {
+					for pg := 0; pg < 2; pg++ {
+						ppn := g.PPN(Address{ch, die, pl, blk, pg})
+						if ppn < 0 || ppn >= int64(g.TotalPages()) {
+							t.Fatalf("ppn %d out of range", ppn)
+						}
+						if seen[ppn] {
+							t.Fatalf("duplicate ppn %d", ppn)
+						}
+						seen[ppn] = true
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != g.TotalPages() {
+		t.Fatalf("%d distinct PPNs, want %d", len(seen), g.TotalPages())
+	}
+}
+
+func TestBlockAndDieIDs(t *testing.T) {
+	g := PaperGeometry()
+	a := Address{Channel: 3, Die: 2, Plane: 1, Block: 100, Page: 5}
+	if id := g.DieID(a); id != 3*4+2 {
+		t.Fatalf("DieID = %d", id)
+	}
+	wantBlock := ((3*4+2)*4+1)*1888 + 100
+	if id := g.BlockID(a); id != wantBlock {
+		t.Fatalf("BlockID = %d, want %d", id, wantBlock)
+	}
+}
+
+func TestPageTypeInterleaving(t *testing.T) {
+	if PageTypeOf(0) != LSB || PageTypeOf(1) != CSB || PageTypeOf(2) != MSB {
+		t.Fatal("wrong LSB/CSB/MSB interleaving")
+	}
+	if PageTypeOf(575) != PageTypeOf(575%3) {
+		t.Fatal("page type not periodic")
+	}
+	if LSB.String() != "LSB" || CSB.String() != "CSB" || MSB.String() != "MSB" {
+		t.Fatal("page type names wrong")
+	}
+}

@@ -1,0 +1,108 @@
+package nand
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScrambleIsInvolution(t *testing.T) {
+	r := NewRandomizer(99)
+	f := func(data []byte, ppn int64) bool {
+		if ppn < 0 {
+			ppn = -ppn
+		}
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		r.Scramble(buf, ppn)
+		r.Scramble(buf, ppn)
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrambleChangesData(t *testing.T) {
+	r := NewRandomizer(99)
+	buf := make([]byte, 4096)
+	r.Scramble(buf, 1)
+	allZero := true
+	for _, b := range buf {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Fatal("keystream is all zero")
+	}
+}
+
+func TestScrambleDistinctPerPage(t *testing.T) {
+	r := NewRandomizer(99)
+	a := make([]byte, 512)
+	b := make([]byte, 512)
+	r.Scramble(a, 1)
+	r.Scramble(b, 2)
+	if bytes.Equal(a, b) {
+		t.Fatal("two pages share a keystream")
+	}
+}
+
+func TestScrambleBalancesOnes(t *testing.T) {
+	// The purpose of randomization (§V-A1): roughly half the
+	// programmed bits are ones regardless of the data pattern.
+	r := NewRandomizer(99)
+	for ppn := int64(0); ppn < 50; ppn++ {
+		bal := r.OnesBalance(ppn, 16*1024)
+		if math.Abs(bal-0.5) > 0.02 {
+			t.Fatalf("page %d ones balance = %v, want ~0.5", ppn, bal)
+		}
+	}
+}
+
+func TestScrambleDeterministic(t *testing.T) {
+	a := NewRandomizer(5)
+	b := NewRandomizer(5)
+	ba := make([]byte, 100)
+	bb := make([]byte, 100)
+	a.Scramble(ba, 77)
+	b.Scramble(bb, 77)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("same seed and page produced different keystreams")
+	}
+}
+
+func TestScrambleOddLengths(t *testing.T) {
+	r := NewRandomizer(1)
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 15, 63, 65} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		buf := make([]byte, n)
+		copy(buf, data)
+		r.Scramble(buf, 9)
+		r.Scramble(buf, 9)
+		if !bytes.Equal(buf, data) {
+			t.Fatalf("length %d: double scramble not identity", n)
+		}
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	r := NewRandomizer(0)
+	buf := make([]byte, 64)
+	r.Scramble(buf, 0)
+	nonzero := false
+	for _, b := range buf {
+		if b != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("zero seed produced a null keystream")
+	}
+}

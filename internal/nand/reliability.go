@@ -1,0 +1,264 @@
+package nand
+
+import (
+	"math"
+)
+
+// ECCCapabilityRBER is the correction capability of the 4-KiB QC-LDPC
+// engine assumed throughout the paper: pages whose RBER exceeds this
+// cannot be decoded and require a read-retry (Fig. 3).
+const ECCCapabilityRBER = 0.0085
+
+// VrefMode selects which read-reference voltages a sense operation
+// uses, which determines the observed RBER.
+type VrefMode int
+
+const (
+	// DefaultVref uses the factory voltages; retention-induced Vth
+	// drift is fully exposed.
+	DefaultVref VrefMode = iota
+	// OptimalVref uses per-threshold near-optimal voltages (the result
+	// of a successful Swift-Read estimate or an ideal retry).
+	OptimalVref
+	// TrackedVref models SWR+'s proactive VREF tracking: the voltages
+	// lag the true optimum, removing a large fraction of the drift.
+	TrackedVref
+)
+
+// ModelParams are the tunable constants of the Vth physics model.
+// DefaultModelParams is calibrated so the ECC-capability crossing
+// reproduces the paper's Fig. 4 retention frontier.
+type ModelParams struct {
+	// StateGap is the fresh spacing between adjacent Vth state means
+	// (arbitrary millivolt-like units).
+	StateGap float64
+	// SigmaFresh is the fresh per-state Vth standard deviation.
+	SigmaFresh float64
+	// RetentionShift scales the charge-loss downshift of programmed
+	// states: state i shifts by
+	// RetentionShift*(0.5+0.5*i/7)*log(1+days)*wear — every programmed
+	// state loses charge, higher states faster.
+	RetentionShift float64
+	// RetentionWiden scales distribution widening with retention.
+	RetentionWiden float64
+	// PEWiden scales permanent widening with P/E cycling (per 1K P/E).
+	PEWiden float64
+	// PEShiftBoost scales how much P/E wear accelerates retention
+	// loss (per 1K P/E).
+	PEShiftBoost float64
+	// ReadDisturb is the RBER added per single-page read of a block.
+	ReadDisturb float64
+	// BlockVarSigma is the lognormal sigma of per-block process
+	// variation applied to the retention shift rate.
+	BlockVarSigma float64
+	// ChunkVar4K is the relative RBER std-dev among 4-KiB chunks of a
+	// page; smaller chunks scale by sqrt(4K/size) (Fig. 12).
+	ChunkVar4K float64
+	// TrackedResidual is the fraction of VREF drift left uncorrected
+	// in TrackedVref mode (SWR+).
+	TrackedResidual float64
+}
+
+// DefaultModelParams returns the calibrated constants.
+func DefaultModelParams() ModelParams {
+	return ModelParams{
+		StateGap:        600,
+		SigmaFresh:      80,
+		RetentionShift:  47,
+		RetentionWiden:  0.055,
+		PEWiden:         0.10,
+		PEShiftBoost:    0.20,
+		ReadDisturb:     2e-9,
+		BlockVarSigma:   0.10,
+		ChunkVar4K:      0.0085,
+		TrackedResidual: 0.65,
+	}
+}
+
+// Model evaluates page RBER as a function of operating condition. It
+// is deterministic: all per-block and per-page variation derives from
+// Seed, so repeated queries agree and experiments are reproducible.
+type Model struct {
+	p    ModelParams
+	seed uint64
+}
+
+// NewModel builds a reliability model with the given parameters.
+func NewModel(p ModelParams, seed uint64) *Model {
+	return &Model{p: p, seed: seed}
+}
+
+// NewDefaultModel builds a model with DefaultModelParams.
+func NewDefaultModel(seed uint64) *Model {
+	return NewModel(DefaultModelParams(), seed)
+}
+
+// Params returns the model constants.
+func (m *Model) Params() ModelParams { return m.p }
+
+// thresholdsOf lists the VREF indices (1..7) a page type needs.
+func thresholdsOf(pt PageType) []int {
+	switch pt {
+	case LSB:
+		return []int{1, 5}
+	case CSB:
+		return []int{2, 4, 6}
+	default:
+		return []int{3, 7}
+	}
+}
+
+// qFunc is the Gaussian upper-tail probability Q(x).
+func qFunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// hash01 maps a key to a deterministic uniform (0,1) value.
+func hash01(key uint64) float64 {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return (float64(z>>11) + 0.5) / (1 << 53)
+}
+
+// hashNormal maps a key to a deterministic standard-normal value via
+// the inverse-CDF of a pair of uniforms (Box-Muller on fixed draws).
+func hashNormal(key uint64) float64 {
+	u1 := hash01(key)
+	u2 := hash01(key ^ 0xabcdef1234567890)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// BlockVariation reports the process-variation multiplier on the
+// retention shift rate for a block. It is lognormal around 1.
+func (m *Model) BlockVariation(blockID int) float64 {
+	return math.Exp(m.p.BlockVarSigma * hashNormal(m.seed^uint64(blockID)*0x9e3779b9))
+}
+
+// condition captures the derived distribution state for one read.
+type condition struct {
+	shiftUnit float64 // downshift of the top state (state 7)
+	sigma     float64 // common per-state std-dev after widening/wear
+}
+
+func (m *Model) conditionAt(blockID, pe int, retentionDays float64, reads int) condition {
+	if retentionDays < 0 {
+		retentionDays = 0
+	}
+	wear := 1 + m.p.PEShiftBoost*float64(pe)/1000
+	l := math.Log1p(retentionDays) * wear * m.BlockVariation(blockID)
+	sigma := m.p.SigmaFresh * (1 + m.p.RetentionWiden*l + m.p.PEWiden*float64(pe)/1000)
+	return condition{shiftUnit: m.p.RetentionShift * l, sigma: sigma}
+}
+
+// stateMean reports the mean of state i under the condition. All
+// programmed states lose charge with retention; higher states lose it
+// faster (steeper field across the damaged tunnel oxide), so the
+// shift grows from half the unit at the erase state to the full unit
+// at the top state.
+func (m *Model) stateMean(i int, c condition) float64 {
+	return float64(i)*m.p.StateGap - c.shiftUnit*(0.5+0.5*float64(i)/7)
+}
+
+// defaultVref is the factory read voltage for threshold j (between
+// states j-1 and j of the fresh distributions).
+func (m *Model) defaultVref(j int) float64 {
+	return (float64(j-1) + 0.5) * m.p.StateGap
+}
+
+// optimalVref is the equal-density crossing of the two adjacent
+// (shifted) distributions — what Swift-Read estimates.
+func (m *Model) optimalVref(j int, c condition) float64 {
+	return (m.stateMean(j-1, c) + m.stateMean(j, c)) / 2
+}
+
+// trackedVref lags the optimum by TrackedResidual of the drift.
+func (m *Model) trackedVref(j int, c condition) float64 {
+	opt := m.optimalVref(j, c)
+	def := m.defaultVref(j)
+	return opt + m.p.TrackedResidual*(def-opt)
+}
+
+// PageRBER reports the raw bit error rate observed when sensing the
+// page with the given VREF mode under the given operating condition.
+func (m *Model) PageRBER(blockID int, pt PageType, pe int, retentionDays float64, reads int, mode VrefMode) float64 {
+	c := m.conditionAt(blockID, pe, retentionDays, reads)
+	rber := 0.0
+	for _, j := range thresholdsOf(pt) {
+		var v float64
+		switch mode {
+		case OptimalVref:
+			v = m.optimalVref(j, c)
+		case TrackedVref:
+			v = m.trackedVref(j, c)
+		default:
+			v = m.defaultVref(j)
+		}
+		lo := m.stateMean(j-1, c)
+		hi := m.stateMean(j, c)
+		// A cell is in a specific state with probability 1/8
+		// (randomized data); misreads across threshold j come from the
+		// two adjacent states.
+		rber += (qFunc((v-lo)/c.sigma) + qFunc((hi-v)/c.sigma)) / 8
+	}
+	rber += m.p.ReadDisturb * float64(reads)
+	if rber > 0.5 {
+		rber = 0.5
+	}
+	return rber
+}
+
+// ChunkRBER reports the RBER of chunk chunkIdx (of chunkCount equal
+// chunks) of a page whose overall RBER is pageRBER. Intra-page
+// variation is small, grows as chunks shrink, and grows with stress
+// (Fig. 12 shows the spread widening with retention and P/E); pageKey
+// makes the jitter deterministic per page.
+func (m *Model) ChunkRBER(pageRBER float64, pageKey uint64, chunkIdx, chunkCount int) float64 {
+	if chunkCount <= 1 {
+		return pageRBER
+	}
+	// ChunkVar4K is specified for 4 chunks of a 16-KiB page under
+	// full stress; smaller chunks have proportionally noisier RBER,
+	// and lightly-stressed pages (low RBER) vary less.
+	stress := pageRBER / ECCCapabilityRBER
+	if stress > 1 {
+		stress = 1
+	}
+	sigma := m.p.ChunkVar4K * math.Pow(float64(chunkCount)/4, 0.75) * (0.55 + 0.45*stress)
+	eps := sigma * hashNormal(m.seed^pageKey^uint64(chunkIdx)*0x517cc1b727220a95^uint64(chunkCount)<<32)
+	r := pageRBER * (1 + eps)
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// NeedsRetry reports whether a page read at the given condition and
+// VREF mode exceeds the ECC correction capability.
+func (m *Model) NeedsRetry(blockID int, pt PageType, pe int, retentionDays float64, reads int, mode VrefMode) bool {
+	return m.PageRBER(blockID, pt, pe, retentionDays, reads, mode) > ECCCapabilityRBER
+}
+
+// RetentionUntilRetry reports the retention time, in days, at which
+// the page's default-VREF RBER first exceeds the ECC correction
+// capability (the quantity characterized in Fig. 4). It returns
+// maxDays when the page survives the whole horizon.
+func (m *Model) RetentionUntilRetry(blockID int, pt PageType, pe int, maxDays float64) float64 {
+	if m.PageRBER(blockID, pt, pe, 0, 0, DefaultVref) > ECCCapabilityRBER {
+		return 0
+	}
+	if m.PageRBER(blockID, pt, pe, maxDays, 0, DefaultVref) <= ECCCapabilityRBER {
+		return maxDays
+	}
+	lo, hi := 0.0, maxDays
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		if m.PageRBER(blockID, pt, pe, mid, 0, DefaultVref) > ECCCapabilityRBER {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,166 @@
+package nvme
+
+import "fmt"
+
+// Backend executes NVM commands against storage. The ssd simulator
+// (via an adapter) or any in-memory fake can serve as one. Execute
+// must eventually call done exactly once.
+type Backend interface {
+	Execute(sqid uint16, cmd Command, done func(Status))
+}
+
+// Arbitration selects how the controller picks among non-empty
+// submission queues.
+type Arbitration int
+
+// Arbitration policies (NVMe spec §4.13).
+const (
+	RoundRobin Arbitration = iota
+	WeightedRoundRobin
+)
+
+// queuePair couples one SQ with its CQ and WRR weight.
+type queuePair struct {
+	sq     *Queue[Command]
+	cq     *Queue[Completion]
+	weight int
+	// inFlight tracks CIDs submitted to the backend and not yet
+	// completed, to detect CID reuse.
+	inFlight map[uint16]bool
+}
+
+// Controller owns the queue pairs and the arbitration state. It is
+// deliberately synchronous: Doorbell hands commands to the backend;
+// completions land in the CQ when the backend finishes.
+type Controller struct {
+	backend Backend
+	arb     Arbitration
+	pairs   []*queuePair
+	// Burst is the arbitration burst: how many commands one queue may
+	// submit per arbitration turn.
+	Burst int
+}
+
+// NewController builds a controller over a backend.
+func NewController(backend Backend, arb Arbitration) *Controller {
+	return &Controller{backend: backend, arb: arb, Burst: 1}
+}
+
+// CreateQueuePair registers a new SQ/CQ pair with the given depth and
+// WRR weight (ignored under plain round robin), returning its SQID.
+func (c *Controller) CreateQueuePair(depth, weight int) uint16 {
+	if weight < 1 {
+		weight = 1
+	}
+	c.pairs = append(c.pairs, &queuePair{
+		sq:       NewQueue[Command](depth),
+		cq:       NewQueue[Completion](depth),
+		weight:   weight,
+		inFlight: make(map[uint16]bool),
+	})
+	return uint16(len(c.pairs) - 1)
+}
+
+// pair validates an SQID.
+func (c *Controller) pair(sqid uint16) (*queuePair, error) {
+	if int(sqid) >= len(c.pairs) {
+		return nil, fmt.Errorf("nvme: unknown sqid %d", sqid)
+	}
+	return c.pairs[sqid], nil
+}
+
+// Submit places a command on a submission queue (the host writing an
+// SQE). It fails when the ring is full or the CID is already in use.
+func (c *Controller) Submit(sqid uint16, cmd Command) error {
+	p, err := c.pair(sqid)
+	if err != nil {
+		return err
+	}
+	if p.inFlight[cmd.CID] {
+		return fmt.Errorf("nvme: sqid %d cid %d reused while in flight", sqid, cmd.CID)
+	}
+	if !p.sq.Push(cmd) {
+		return fmt.Errorf("nvme: sqid %d full", sqid)
+	}
+	return nil
+}
+
+// Doorbell rings the submission doorbells: the controller arbitrates
+// across the non-empty SQs and hands commands to the backend until
+// every SQ drains. Completions appear on the matching CQs as the
+// backend finishes.
+func (c *Controller) Doorbell() {
+	for {
+		progressed := false
+		for sqid := range c.pairs {
+			p := c.pairs[sqid]
+			burst := c.Burst
+			if c.arb == WeightedRoundRobin {
+				burst = p.weight * c.Burst
+			}
+			for n := 0; n < burst; n++ {
+				cmd, ok := p.sq.Pop()
+				if !ok {
+					break
+				}
+				progressed = true
+				c.dispatch(uint16(sqid), cmd)
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// dispatch validates and executes one command.
+func (c *Controller) dispatch(sqid uint16, cmd Command) {
+	p := c.pairs[sqid]
+	switch cmd.Opcode {
+	case OpRead, OpWrite, OpFlush:
+	default:
+		p.complete(sqid, cmd.CID, StatusInvalidOp)
+		return
+	}
+	if cmd.Opcode != OpFlush && cmd.SLBA < 0 {
+		p.complete(sqid, cmd.CID, StatusInvalidField)
+		return
+	}
+	p.inFlight[cmd.CID] = true
+	c.backend.Execute(sqid, cmd, func(st Status) {
+		delete(p.inFlight, cmd.CID)
+		p.complete(sqid, cmd.CID, st)
+	})
+}
+
+// complete posts a CQE.
+func (p *queuePair) complete(sqid uint16, cid uint16, st Status) {
+	p.cq.Push(Completion{CID: cid, SQID: sqid, Status: st, SQHead: p.sq.Head()})
+}
+
+// Reap drains up to max completions from a CQ (the host consuming
+// CQEs and ringing the CQ doorbell).
+func (c *Controller) Reap(sqid uint16, max int) ([]Completion, error) {
+	p, err := c.pair(sqid)
+	if err != nil {
+		return nil, err
+	}
+	var out []Completion
+	for len(out) < max {
+		cqe, ok := p.cq.Pop()
+		if !ok {
+			break
+		}
+		out = append(out, cqe)
+	}
+	return out, nil
+}
+
+// Pending reports queued-but-unsubmitted commands across all SQs.
+func (c *Controller) Pending() int {
+	n := 0
+	for _, p := range c.pairs {
+		n += p.sq.Len()
+	}
+	return n
+}

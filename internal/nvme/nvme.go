@@ -1,0 +1,120 @@
+// Package nvme models the NVMe queue-pair mechanics a modern
+// multi-queue SSD exposes to its host: submission/completion rings
+// with doorbells, command and completion entries, and the
+// round-robin / weighted-round-robin arbitration the controller uses
+// to pick the next command. It is the front end MQSim-style
+// simulators put before the flash back end.
+package nvme
+
+import "fmt"
+
+// Opcode is an NVM command set opcode.
+type Opcode uint8
+
+// The NVM I/O commands the simulator serves.
+const (
+	OpFlush Opcode = 0x00
+	OpWrite Opcode = 0x01
+	OpRead  Opcode = 0x02
+)
+
+// String names the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpFlush:
+		return "Flush"
+	case OpWrite:
+		return "Write"
+	case OpRead:
+		return "Read"
+	}
+	return fmt.Sprintf("Opcode(%#x)", uint8(o))
+}
+
+// Command is a submission queue entry (the fields the simulator
+// consumes; a real SQE is 64 bytes).
+type Command struct {
+	Opcode Opcode
+	CID    uint16 // command identifier, unique per queue while in flight
+	NSID   uint32
+	SLBA   int64  // starting logical block address
+	NLB    uint32 // number of logical blocks, zero-based per spec
+}
+
+// Completion is a completion queue entry.
+type Completion struct {
+	CID    uint16
+	SQID   uint16
+	Status Status
+	SQHead uint16 // submission queue head at completion time
+}
+
+// Status is an NVMe status code (0 = success).
+type Status uint16
+
+// Status codes used by the model.
+const (
+	StatusSuccess      Status = 0x0
+	StatusInvalidOp    Status = 0x1
+	StatusInvalidField Status = 0x2
+	StatusInternal     Status = 0x6
+)
+
+// Queue is a power-of-two ring with head/tail indices, the structure
+// both SQs and CQs share. One slot is kept open to distinguish full
+// from empty, as in the spec.
+type Queue[T any] struct {
+	entries []T
+	head    uint16 // consumer index
+	tail    uint16 // producer index
+}
+
+// NewQueue allocates a ring with the given number of slots (min 2).
+func NewQueue[T any](slots int) *Queue[T] {
+	if slots < 2 {
+		slots = 2
+	}
+	return &Queue[T]{entries: make([]T, slots)}
+}
+
+// Size reports the ring's slot count.
+func (q *Queue[T]) Size() int { return len(q.entries) }
+
+// Len reports the number of queued entries.
+func (q *Queue[T]) Len() int {
+	n := int(q.tail) - int(q.head)
+	if n < 0 {
+		n += len(q.entries)
+	}
+	return n
+}
+
+// Full reports whether the ring cannot accept another entry.
+func (q *Queue[T]) Full() bool { return q.Len() == len(q.entries)-1 }
+
+// Empty reports whether the ring has no entries.
+func (q *Queue[T]) Empty() bool { return q.head == q.tail }
+
+// Push appends an entry, reporting false when full.
+func (q *Queue[T]) Push(e T) bool {
+	if q.Full() {
+		return false
+	}
+	q.entries[q.tail] = e
+	q.tail = uint16((int(q.tail) + 1) % len(q.entries))
+	return true
+}
+
+// Pop removes the head entry, reporting false when empty.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if q.Empty() {
+		return zero, false
+	}
+	e := q.entries[q.head]
+	q.head = uint16((int(q.head) + 1) % len(q.entries))
+	return e, true
+}
+
+// Head reports the consumer index (for CQE SQHead fields).
+func (q *Queue[T]) Head() uint16 { return q.head }

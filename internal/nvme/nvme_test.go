@@ -1,0 +1,225 @@
+package nvme
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueRingBasics(t *testing.T) {
+	q := NewQueue[int](4) // 3 usable slots
+	if !q.Empty() || q.Full() {
+		t.Fatal("fresh ring state wrong")
+	}
+	for i := 1; i <= 3; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if !q.Full() {
+		t.Fatal("ring not full after 3 pushes")
+	}
+	if q.Push(4) {
+		t.Fatal("push into full ring succeeded")
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: %v %v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q := NewQueue[int](4)
+	for round := 0; round < 10; round++ {
+		if !q.Push(round) {
+			t.Fatalf("round %d push failed", round)
+		}
+		v, ok := q.Pop()
+		if !ok || v != round {
+			t.Fatalf("round %d pop %v %v", round, v, ok)
+		}
+	}
+}
+
+func TestQueueLenProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewQueue[int](8)
+		n := 0
+		for _, push := range ops {
+			if push {
+				if q.Push(1) {
+					n++
+				}
+			} else {
+				if _, ok := q.Pop(); ok {
+					n--
+				}
+			}
+			if q.Len() != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeBackend completes immediately (or holds commands when async).
+type fakeBackend struct {
+	executed []Command
+	holds    []func(Status)
+	async    bool
+}
+
+func (f *fakeBackend) Execute(sqid uint16, cmd Command, done func(Status)) {
+	f.executed = append(f.executed, cmd)
+	if f.async {
+		f.holds = append(f.holds, done)
+		return
+	}
+	done(StatusSuccess)
+}
+
+func TestControllerSubmitReap(t *testing.T) {
+	b := &fakeBackend{}
+	c := NewController(b, RoundRobin)
+	sq := c.CreateQueuePair(8, 1)
+	for cid := uint16(0); cid < 3; cid++ {
+		if err := c.Submit(sq, Command{Opcode: OpRead, CID: cid, SLBA: int64(cid) * 8, NLB: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Doorbell()
+	if len(b.executed) != 3 {
+		t.Fatalf("backend saw %d commands", len(b.executed))
+	}
+	cqes, err := c.Reap(sq, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cqes) != 3 {
+		t.Fatalf("reaped %d completions", len(cqes))
+	}
+	for i, cqe := range cqes {
+		if cqe.Status != StatusSuccess || cqe.CID != uint16(i) || cqe.SQID != sq {
+			t.Fatalf("cqe %d: %+v", i, cqe)
+		}
+	}
+}
+
+func TestControllerRejectsBadCommands(t *testing.T) {
+	b := &fakeBackend{}
+	c := NewController(b, RoundRobin)
+	sq := c.CreateQueuePair(8, 1)
+	if err := c.Submit(sq, Command{Opcode: 0x7f, CID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(sq, Command{Opcode: OpRead, CID: 2, SLBA: -1}); err != nil {
+		t.Fatal(err)
+	}
+	c.Doorbell()
+	if len(b.executed) != 0 {
+		t.Fatal("invalid commands reached the backend")
+	}
+	cqes, _ := c.Reap(sq, 10)
+	if len(cqes) != 2 {
+		t.Fatalf("%d completions", len(cqes))
+	}
+	if cqes[0].Status != StatusInvalidOp || cqes[1].Status != StatusInvalidField {
+		t.Fatalf("statuses: %+v", cqes)
+	}
+}
+
+func TestControllerCIDReuseDetected(t *testing.T) {
+	b := &fakeBackend{async: true}
+	c := NewController(b, RoundRobin)
+	sq := c.CreateQueuePair(8, 1)
+	if err := c.Submit(sq, Command{Opcode: OpRead, CID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	c.Doorbell()
+	// CID 7 is now in flight at the backend.
+	if err := c.Submit(sq, Command{Opcode: OpRead, CID: 7}); err == nil {
+		t.Fatal("in-flight CID reuse accepted")
+	}
+	b.holds[0](StatusSuccess)
+	if err := c.Submit(sq, Command{Opcode: OpRead, CID: 7}); err != nil {
+		t.Fatalf("CID rejected after completion: %v", err)
+	}
+}
+
+func TestControllerSQFull(t *testing.T) {
+	c := NewController(&fakeBackend{}, RoundRobin)
+	sq := c.CreateQueuePair(4, 1) // 3 usable
+	for cid := uint16(0); cid < 3; cid++ {
+		if err := c.Submit(sq, Command{Opcode: OpRead, CID: cid}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Submit(sq, Command{Opcode: OpRead, CID: 9}); err == nil {
+		t.Fatal("full SQ accepted a command")
+	}
+}
+
+func TestRoundRobinInterleavesQueues(t *testing.T) {
+	b := &fakeBackend{}
+	c := NewController(b, RoundRobin)
+	q0 := c.CreateQueuePair(8, 1)
+	q1 := c.CreateQueuePair(8, 1)
+	for cid := uint16(0); cid < 3; cid++ {
+		_ = c.Submit(q0, Command{Opcode: OpRead, CID: cid, SLBA: 0})
+		_ = c.Submit(q1, Command{Opcode: OpRead, CID: cid, SLBA: 1000})
+	}
+	c.Doorbell()
+	// Burst 1 round robin: q0, q1, q0, q1, ...
+	for i, cmd := range b.executed {
+		wantSLBA := int64(0)
+		if i%2 == 1 {
+			wantSLBA = 1000
+		}
+		if cmd.SLBA != wantSLBA {
+			t.Fatalf("arbitration order wrong at %d: %+v", i, b.executed)
+		}
+	}
+}
+
+func TestWeightedRoundRobinFavorsHeavyQueue(t *testing.T) {
+	b := &fakeBackend{}
+	c := NewController(b, WeightedRoundRobin)
+	heavy := c.CreateQueuePair(16, 3)
+	light := c.CreateQueuePair(16, 1)
+	for cid := uint16(0); cid < 6; cid++ {
+		_ = c.Submit(heavy, Command{Opcode: OpRead, CID: cid, SLBA: 0})
+		_ = c.Submit(light, Command{Opcode: OpRead, CID: cid, SLBA: 1000})
+	}
+	c.Doorbell()
+	// First arbitration turn: 3 from heavy, then 1 from light.
+	if b.executed[0].SLBA != 0 || b.executed[1].SLBA != 0 || b.executed[2].SLBA != 0 {
+		t.Fatalf("heavy queue not served first: %+v", b.executed[:4])
+	}
+	if b.executed[3].SLBA != 1000 {
+		t.Fatalf("light queue starved in turn: %+v", b.executed[:4])
+	}
+}
+
+func TestOpcodeNames(t *testing.T) {
+	if OpRead.String() != "Read" || OpWrite.String() != "Write" || OpFlush.String() != "Flush" {
+		t.Fatal("opcode names wrong")
+	}
+}
+
+func TestUnknownSQID(t *testing.T) {
+	c := NewController(&fakeBackend{}, RoundRobin)
+	if err := c.Submit(9, Command{}); err == nil {
+		t.Fatal("unknown sqid accepted")
+	}
+	if _, err := c.Reap(9, 1); err == nil {
+		t.Fatal("unknown sqid reaped")
+	}
+}

@@ -1,0 +1,55 @@
+package odear
+
+import "math"
+
+// AccuracyModel is the probability form of RP used inside the SSD
+// simulator: given a page's RBER it yields the probability that RP's
+// correctability prediction agrees with the real LDPC outcome. The
+// shape follows the paper's Figs. 11/14: near-perfect far from the
+// capability, dipping to 50% exactly at it, with the poor-accuracy
+// band covering "less than 2% of the overall RBER range".
+type AccuracyModel struct {
+	// Capability is the ECC correction capability RBER.
+	Capability float64
+	// Width is the RBER distance over which accuracy recovers from
+	// 50% toward 100% (e-folding scale).
+	Width float64
+	// Floor is the asymptotic accuracy far from the capability
+	// (slightly below 1 for the approximate predictor).
+	Floor float64
+}
+
+// DefaultAccuracyModel returns the model calibrated to the paper's
+// approximate predictor: 98.7% average accuracy for uncorrectable
+// pages (Fig. 14).
+func DefaultAccuracyModel(capability float64) AccuracyModel {
+	return AccuracyModel{Capability: capability, Width: 0.00035, Floor: 0.995}
+}
+
+// Accuracy reports P(RP prediction correct | page RBER).
+func (a AccuracyModel) Accuracy(rber float64) float64 {
+	d := math.Abs(rber - a.Capability)
+	return a.Floor - (a.Floor-0.5)*math.Exp(-d/a.Width)
+}
+
+// PredictCorrect reports whether a prediction at this RBER is correct,
+// given a uniform random draw u in [0,1) supplied by the caller (so
+// the simulator controls the random stream).
+func (a AccuracyModel) PredictCorrect(rber, u float64) bool {
+	return u < a.Accuracy(rber)
+}
+
+// MeanAccuracyAbove reports the average accuracy over RBER values in
+// (Capability, hi], the headline "prediction accuracy for
+// uncorrectable pages" the paper quotes (99.1% full, 98.7% approx).
+func (a AccuracyModel) MeanAccuracyAbove(hi float64, steps int) float64 {
+	if steps <= 0 {
+		steps = 64
+	}
+	total := 0.0
+	for i := 1; i <= steps; i++ {
+		r := a.Capability + (hi-a.Capability)*float64(i)/float64(steps)
+		total += a.Accuracy(r)
+	}
+	return total / float64(steps)
+}

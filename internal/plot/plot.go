@@ -1,0 +1,131 @@
+// Package plot renders small ASCII charts for the experiment CLIs:
+// line/scatter charts for CDFs and sweeps (Figs. 3, 19) and
+// horizontal bar charts for grouped comparisons (Fig. 17). Pure text,
+// no dependencies, deterministic output.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// XY is one point of a series.
+type XY struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points.
+type Series struct {
+	Name   string
+	Points []XY
+}
+
+// glyphs mark successive series in a chart.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series as a width x height character plot with a
+// shared linear axis frame and a legend. Width and height describe
+// the plotting area (axes add a margin).
+func Chart(title string, series []Series, width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+			total++
+		}
+	}
+	if total == 0 {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			c := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			r := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - r
+			if row >= 0 && row < height && c >= 0 && c < width {
+				grid[row][c] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintln(&b, title)
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", minY)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s %s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s %-*.4g%*.4g\n", strings.Repeat(" ", 9), width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Bar is one horizontal bar.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// HBar renders a horizontal bar chart scaled to the largest value.
+// width is the maximum bar length in characters.
+func HBar(title string, bars []Bar, width int) string {
+	if width < 5 {
+		width = 5
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for _, bar := range bars {
+		if bar.Value > maxV {
+			maxV = bar.Value
+		}
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintln(&b, title)
+	}
+	for _, bar := range bars {
+		n := 0
+		if maxV > 0 && bar.Value > 0 {
+			n = int(math.Round(bar.Value / maxV * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.3g\n", maxLabel, bar.Label, strings.Repeat("=", n), bar.Value)
+	}
+	return b.String()
+}

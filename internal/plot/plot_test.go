@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("demo", []Series{
+		{Name: "up", Points: []XY{{0, 0}, {1, 1}, {2, 2}}},
+		{Name: "down", Points: []XY{{0, 2}, {1, 1}, {2, 0}}},
+	}, 20, 6)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("glyphs missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 6 grid rows + axis + x labels + 2 legend entries.
+	if len(lines) != 1+6+1+1+2 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("none", nil, 10, 4)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	// Degenerate extents must not divide by zero.
+	out := Chart("pt", []Series{{Name: "p", Points: []XY{{5, 5}}}}, 10, 4)
+	if !strings.Contains(out, "*") {
+		t.Fatal("point not plotted")
+	}
+}
+
+func TestChartMonotoneCDFPlacement(t *testing.T) {
+	// A rising CDF must place its max-Y point on the top row and its
+	// min-Y point on the bottom row.
+	pts := []XY{{0, 0}, {50, 0.5}, {100, 1}}
+	out := Chart("", []Series{{Name: "cdf", Points: pts}}, 30, 8)
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[0], lines[7]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("top row empty: %q", top)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Fatalf("bottom row empty: %q", bottom)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	out := Chart("", []Series{{Name: "s", Points: []XY{{0, 0}, {1, 1}}}}, 1, 1)
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestHBar(t *testing.T) {
+	out := HBar("bw", []Bar{
+		{Label: "SENC", Value: 1.0},
+		{Label: "RiFSSD", Value: 2.0},
+	}, 20)
+	if !strings.Contains(out, "bw") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	senc := strings.Count(lines[1], "=")
+	rifd := strings.Count(lines[2], "=")
+	if rifd != 20 || senc != 10 {
+		t.Fatalf("bar lengths %d/%d, want 10/20", senc, rifd)
+	}
+	// Labels aligned.
+	if !strings.HasPrefix(lines[1], "SENC   ") {
+		t.Fatalf("label not padded: %q", lines[1])
+	}
+}
+
+func TestHBarZeroValues(t *testing.T) {
+	out := HBar("", []Bar{{Label: "a", Value: 0}, {Label: "b", Value: 0}}, 10)
+	if strings.Contains(out, "=") {
+		t.Fatal("zero bars drew segments")
+	}
+}

@@ -1,0 +1,187 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate for the SSD simulator: it owns a virtual
+// clock in nanoseconds, an event heap ordered by (time, sequence), and
+// seeded random-number streams so that every run is reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point on the simulation clock, in nanoseconds.
+type Time int64
+
+// Common durations expressed in Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// Microseconds reports t as a floating-point microsecond count.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds reports t as a floating-point millisecond count.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with microsecond precision for logs and tests.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Microseconds()) }
+
+// Handler is the body of a scheduled event. It runs when the clock
+// reaches the event's timestamp.
+type Handler func()
+
+// event is a single entry in the calendar queue.
+type event struct {
+	at       Time
+	seq      uint64 // FIFO tiebreak for events at the same instant
+	fn       Handler
+	canceled bool
+	index    int // heap index, maintained by eventHeap
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct{ ev *event }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value
+// is not usable; create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// processed counts events executed, for diagnostics and loop guards.
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending reports how many events are waiting (including canceled ones
+// that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it is always a model bug.
+func (e *Engine) At(at Time, fn Handler) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel marks a scheduled event so it will not run. Canceling an
+// already-fired or already-canceled event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.canceled = true
+	}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+// It returns the final clock value.
+func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps <= deadline. Events beyond
+// the deadline stay queued; the clock is advanced to min(deadline,
+// last event time). It returns the final clock value.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one non-canceled event, if any, and reports
+// whether an event ran. Useful for unit tests that single-step a model.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*event)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		next.fn()
+		return true
+	}
+	return false
+}

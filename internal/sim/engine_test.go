@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("final clock = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("events at equal time not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterUsesCurrentClock(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.At(100, func() {
+		e.After(50, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 150 {
+		t.Fatalf("After fired at %v, want 150", fired)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.At(10, func() { ran = true })
+	e.Cancel(id)
+	e.Run()
+	if ran {
+		t.Error("canceled event ran")
+	}
+	if e.Processed() != 0 {
+		t.Errorf("processed = %d, want 0", e.Processed())
+	}
+}
+
+func TestEngineCancelIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	id := e.At(10, func() {})
+	e.Cancel(id)
+	e.Cancel(id)
+	e.Run()
+	e.Cancel(id) // after firing window
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after Stop", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineRunUntilDeadline(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	end := e.RunUntil(25)
+	if end != 25 {
+		t.Fatalf("clock = %v, want 25", end)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events before deadline, want 2", len(ran))
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("ran %d events total, want 4", len(ran))
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func() { n++ })
+	e.At(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue reported true")
+	}
+}
+
+func TestEngineEventCascade(t *testing.T) {
+	// An event chain scheduled from within handlers must preserve
+	// causal ordering and advance the clock monotonically.
+	e := NewEngine()
+	var times []Time
+	var chain func(depth int)
+	chain = func(depth int) {
+		times = append(times, e.Now())
+		if depth < 100 {
+			e.After(7, func() { chain(depth + 1) })
+		}
+	}
+	e.At(0, func() { chain(0) })
+	e.Run()
+	if len(times) != 101 {
+		t.Fatalf("chain length = %d, want 101", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] != times[i-1]+7 {
+			t.Fatalf("non-monotonic chain at %d: %v -> %v", i, times[i-1], times[i])
+		}
+	}
+}
+
+func TestEngineOrderingProperty(t *testing.T) {
+	// Property: for any set of event times, execution order is a
+	// stable sort by time.
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		type stamp struct {
+			at  Time
+			idx int
+		}
+		var got []stamp
+		for i, r := range raw {
+			at := Time(r)
+			i := i
+			e.At(at, func() { got = append(got, stamp{at, i}) })
+		}
+		e.Run()
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].idx < got[i-1].idx {
+				return false // FIFO violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

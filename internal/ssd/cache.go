@@ -1,0 +1,64 @@
+package ssd
+
+// writeCache is the controller's DRAM write buffer: a counting
+// semaphore over page slots. A host write completes once its pages
+// are buffered; the background flush (channel transfer + program)
+// releases the slots when the data is durable. When the cache is
+// full, new writes block until flushes drain — the same back-pressure
+// a real device applies.
+type writeCache struct {
+	capacity int
+	inUse    int
+	waiters  []cacheWaiter
+}
+
+type cacheWaiter struct {
+	pages int
+	fn    func()
+}
+
+func newWriteCache(pages int) *writeCache {
+	return &writeCache{capacity: pages}
+}
+
+// enabled reports whether the device has a cache at all.
+func (c *writeCache) enabled() bool { return c.capacity > 0 }
+
+// acquire grants pages slots, running fn immediately if room exists
+// or queueing FIFO otherwise. Requests larger than the whole cache
+// are granted alone when the cache drains completely.
+func (c *writeCache) acquire(pages int, fn func()) {
+	if c.admissible(pages) && len(c.waiters) == 0 {
+		c.inUse += pages
+		fn()
+		return
+	}
+	c.waiters = append(c.waiters, cacheWaiter{pages: pages, fn: fn})
+}
+
+func (c *writeCache) admissible(pages int) bool {
+	if pages >= c.capacity {
+		return c.inUse == 0
+	}
+	return c.inUse+pages <= c.capacity
+}
+
+// release returns pages slots and admits as many waiters as now fit.
+func (c *writeCache) release(pages int) {
+	c.inUse -= pages
+	if c.inUse < 0 {
+		panic("ssd: write cache released below zero")
+	}
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		if !c.admissible(w.pages) {
+			return
+		}
+		c.waiters = c.waiters[1:]
+		c.inUse += w.pages
+		w.fn()
+	}
+}
+
+// idle reports whether nothing is buffered or waiting.
+func (c *writeCache) idle() bool { return c.inUse == 0 && len(c.waiters) == 0 }

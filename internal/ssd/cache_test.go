@@ -1,0 +1,152 @@
+package ssd
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestWriteCacheImmediateGrant(t *testing.T) {
+	c := newWriteCache(10)
+	granted := false
+	c.acquire(4, func() { granted = true })
+	if !granted || c.inUse != 4 {
+		t.Fatalf("granted=%v inUse=%d", granted, c.inUse)
+	}
+	c.release(4)
+	if !c.idle() {
+		t.Fatal("cache not idle after release")
+	}
+}
+
+func TestWriteCacheBackpressureFIFO(t *testing.T) {
+	c := newWriteCache(8)
+	var order []int
+	c.acquire(6, func() { order = append(order, 1) })
+	c.acquire(4, func() { order = append(order, 2) }) // blocked (6+4 > 8)
+	c.acquire(1, func() { order = append(order, 3) }) // blocked behind 2 (FIFO)
+	if len(order) != 1 {
+		t.Fatalf("order=%v", order)
+	}
+	c.release(6)
+	// Both waiters now fit (4+1 <= 8) and must admit in FIFO order.
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order=%v", order)
+	}
+}
+
+func TestWriteCacheOversizeRequest(t *testing.T) {
+	c := newWriteCache(4)
+	granted := false
+	c.acquire(10, func() { granted = true }) // larger than the cache
+	if !granted {
+		t.Fatal("oversize request must be admitted when the cache is empty")
+	}
+	blocked := false
+	c.acquire(1, func() { blocked = true })
+	if blocked {
+		t.Fatal("grant while oversized entry resident")
+	}
+	c.release(10)
+	if !blocked {
+		t.Fatal("waiter not admitted after oversize release")
+	}
+}
+
+func TestWriteCacheReleaseUnderflowPanics(t *testing.T) {
+	c := newWriteCache(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow release did not panic")
+		}
+	}()
+	c.release(1)
+}
+
+func TestWriteCacheDisabled(t *testing.T) {
+	c := newWriteCache(0)
+	if c.enabled() {
+		t.Fatal("zero-capacity cache reports enabled")
+	}
+}
+
+// cacheProbeWorkload issues a deterministic alternating read/write
+// stream over a small footprint.
+type cacheProbeWorkload struct {
+	n    int
+	cold float64
+}
+
+func (w *cacheProbeWorkload) Next() trace.Request {
+	w.n++
+	op := trace.Read
+	if w.n%3 == 0 {
+		op = trace.Write
+	}
+	return trace.Request{Op: op, LPN: int64((w.n * 16) % 4096), Pages: 4}
+}
+
+func (w *cacheProbeWorkload) InitialAgeDays(int64) float64 { return w.cold }
+
+func TestWriteCacheImprovesWriteLatency(t *testing.T) {
+	// With the cache, a write completes at host-transfer time rather
+	// than program time, so mixed-workload makespan drops.
+	base := smallConfig(Zero, 0)
+	base.WriteCachePages = 0
+	cached := smallConfig(Zero, 0)
+	cached.WriteCachePages = 4096
+
+	mBase := run(t, base, &cacheProbeWorkload{cold: 0}, 300)
+	mCached := run(t, cached, &cacheProbeWorkload{cold: 0}, 300)
+	if mCached.Makespan >= mBase.Makespan {
+		t.Fatalf("cache did not help: %v vs %v", mCached.Makespan, mBase.Makespan)
+	}
+}
+
+func TestFlusherBatchesAcrossPlanes(t *testing.T) {
+	// Four pages on four planes of one die must program together: the
+	// flusher's die occupancy is ~one tPROG, not four.
+	cfg := smallConfig(Zero, 0)
+	cfg.QueueDepth = 8
+	s, err := New(cfg, &cacheProbeWorkload{cold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run(90) // 30 writes of 4 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BytesWritten == 0 {
+		t.Fatal("no writes")
+	}
+	// All flushers drained (checked inside Run) and the cache is
+	// empty: the background path completed.
+}
+
+func TestWriteThroughStillWorks(t *testing.T) {
+	cfg := smallConfig(RiF, 1000)
+	cfg.WriteCachePages = 0
+	m := run(t, cfg, smallWorkload(t, "Ali2", 1), 300)
+	if m.RequestsCompleted != 300 || m.BytesWritten == 0 {
+		t.Fatalf("write-through run broken: %v", m)
+	}
+}
+
+func TestCacheDrainsAtRunEnd(t *testing.T) {
+	cfg := smallConfig(One, 0)
+	s, err := New(cfg, &cacheProbeWorkload{cold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if !s.cache.idle() {
+		t.Fatal("cache not drained")
+	}
+	for _, f := range s.flushers {
+		if !f.idle() {
+			t.Fatal("flusher not drained")
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package ssd
+
+import (
+	"repro/internal/sim"
+)
+
+// xferKind distinguishes channel jobs.
+type xferKind int
+
+const (
+	xferRead  xferKind = iota // die -> controller, lands in the ECC buffer
+	xferWrite                 // controller -> die, no ECC involvement
+)
+
+// xferJob is one channel occupancy: a die-command's worth of pages.
+type xferJob struct {
+	kind  xferKind
+	pages int
+	// uncorPages of the read's pages will fail the subsequent decode
+	// (their transfer time is accounted UNCOR); auxiliary transfers
+	// such as sentinel reads set uncorPages = pages.
+	uncorPages int
+	// engineTime is the ECC engine occupancy once transferred (decode
+	// and/or controller-side RP prediction time).
+	engineTime sim.Time
+	// onDecoded runs when the ECC engine finishes the job (reads) or
+	// when the transfer finishes (writes).
+	onDecoded func()
+	// label tags the job for timeline rendering.
+	label string
+}
+
+// channelStation couples one flash channel with its dedicated
+// channel-level ECC engine (footnote 2 of the paper: the raw page
+// must cross the channel into the channel's ECC decoder). The ECC
+// engine has a bounded raw-data buffer; when it is full, pending read
+// transfers stall even if the channel wires are free — the ECCWAIT
+// condition of Figs. 7 and 18.
+type channelStation struct {
+	eng      *sim.Engine
+	tDMAPage sim.Time
+	bufSlots int
+	name     string
+	// record, when non-nil, receives transfer and decode occupancies
+	// (for timeline rendering).
+	record func(resource, label string, start, end sim.Time)
+
+	busy       bool
+	bufInUse   int
+	engineBusy bool
+
+	pending     []*xferJob // waiting for channel (+ buffer for reads)
+	decodeQueue []*xferJob // transferred, waiting for the ECC engine
+
+	// Accounting.
+	cor, uncor, write sim.Time
+	eccWait           sim.Time
+	eccWaitSince      sim.Time
+	inECCWait         bool
+	opened            sim.Time // window start (engine time at creation)
+}
+
+func newChannelStation(eng *sim.Engine, tDMAPage sim.Time, bufSlots int) *channelStation {
+	return &channelStation{
+		eng:      eng,
+		tDMAPage: tDMAPage,
+		bufSlots: bufSlots,
+		opened:   eng.Now(),
+	}
+}
+
+// submit enqueues a channel job.
+func (c *channelStation) submit(job *xferJob) {
+	c.pending = append(c.pending, job)
+	c.tryStartXfer()
+}
+
+func (c *channelStation) tryStartXfer() {
+	if c.busy || len(c.pending) == 0 {
+		return
+	}
+	job := c.pending[0]
+	if job.kind == xferRead && c.bufInUse >= c.bufSlots {
+		// Channel idle but the ECC buffer is full: ECCWAIT begins.
+		if !c.inECCWait {
+			c.inECCWait = true
+			c.eccWaitSince = c.eng.Now()
+		}
+		return
+	}
+	c.pending = c.pending[1:]
+	if c.inECCWait {
+		c.eccWait += c.eng.Now() - c.eccWaitSince
+		c.inECCWait = false
+	}
+	c.busy = true
+	if job.kind == xferRead {
+		c.bufInUse++
+	}
+	dur := sim.Time(job.pages) * c.tDMAPage
+	xferStart := c.eng.Now()
+	c.eng.After(dur, func() {
+		c.busy = false
+		if c.record != nil {
+			c.record(c.name, job.label, xferStart, c.eng.Now())
+		}
+		switch job.kind {
+		case xferWrite:
+			c.write += dur
+			if job.onDecoded != nil {
+				job.onDecoded()
+			}
+		case xferRead:
+			// Split the occupancy between useful and doomed pages.
+			u := dur * sim.Time(job.uncorPages) / sim.Time(job.pages)
+			c.uncor += u
+			c.cor += dur - u
+			c.decodeQueue = append(c.decodeQueue, job)
+			c.tryStartDecode()
+		}
+		c.tryStartXfer()
+	})
+}
+
+func (c *channelStation) tryStartDecode() {
+	if c.engineBusy || len(c.decodeQueue) == 0 {
+		return
+	}
+	job := c.decodeQueue[0]
+	c.decodeQueue = c.decodeQueue[1:]
+	c.engineBusy = true
+	decodeStart := c.eng.Now()
+	c.eng.After(job.engineTime, func() {
+		c.engineBusy = false
+		if c.record != nil && job.engineTime > 0 {
+			c.record("ecc-"+c.name, job.label, decodeStart, c.eng.Now())
+		}
+		c.bufInUse--
+		if job.onDecoded != nil {
+			job.onDecoded()
+		}
+		c.tryStartDecode()
+		c.tryStartXfer() // a freed buffer slot may unblock the channel
+	})
+}
+
+// usage snapshots the accounting over [opened, now].
+func (c *channelStation) usage() ChannelUsage {
+	wait := c.eccWait
+	if c.inECCWait {
+		wait += c.eng.Now() - c.eccWaitSince
+	}
+	return ChannelUsage{
+		Cor:     c.cor,
+		Uncor:   c.uncor,
+		Write:   c.write,
+		ECCWait: wait,
+		Total:   c.eng.Now() - c.opened,
+	}
+}
+
+// quiesced reports whether no work is in flight or queued.
+func (c *channelStation) quiesced() bool {
+	return !c.busy && !c.engineBusy && len(c.pending) == 0 && len(c.decodeQueue) == 0 && c.bufInUse == 0
+}

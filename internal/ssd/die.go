@@ -1,0 +1,158 @@
+package ssd
+
+import (
+	"repro/internal/sim"
+)
+
+// DiePolicy selects how a die schedules reads against programs and
+// erases.
+type DiePolicy int
+
+const (
+	// DieFIFO serves operations strictly in arrival order (the
+	// baseline used for all paper-calibrated results).
+	DieFIFO DiePolicy = iota
+	// DieReadPriority serves queued reads before queued programs but
+	// never interrupts a running operation.
+	DieReadPriority
+	// DieSuspension additionally suspends an in-flight program or
+	// erase when a read arrives, resuming it afterwards with a
+	// resume penalty — the read-program suspension modern chips
+	// implement (and MQSim-E models).
+	DieSuspension
+)
+
+// String names the policy.
+func (p DiePolicy) String() string {
+	switch p {
+	case DieFIFO:
+		return "fifo"
+	case DieReadPriority:
+		return "read-priority"
+	case DieSuspension:
+		return "suspension"
+	}
+	return "unknown"
+}
+
+// dieOp is one array operation.
+type dieOp struct {
+	dur    sim.Time
+	isRead bool
+	label  string
+	done   func()
+}
+
+// dieStation schedules one die's array operations. Unlike the plain
+// FIFO resource it can prioritize reads and suspend programs.
+type dieStation struct {
+	eng           *sim.Engine
+	policy        DiePolicy
+	resumePenalty sim.Time
+	name          string
+	// record, when non-nil, receives each completed occupancy (for
+	// timeline rendering).
+	record func(resource, label string, start, end sim.Time)
+
+	readQ []*dieOp
+	progQ []*dieOp
+
+	running    *dieOp
+	finishAt   sim.Time
+	finishEvt  sim.EventID
+	suspended  []*dieOp   // preempted programs, LIFO
+	suspRemain []sim.Time // remaining time of each suspended op
+
+	// suspensions counts program/erase preemptions, for metrics.
+	suspensions int64
+}
+
+func newDieStation(eng *sim.Engine, policy DiePolicy, resumePenalty sim.Time) *dieStation {
+	return &dieStation{eng: eng, policy: policy, resumePenalty: resumePenalty}
+}
+
+// Read schedules a sense operation of the given duration.
+func (d *dieStation) Read(dur sim.Time, done func()) {
+	d.ReadLabeled(dur, "", done)
+}
+
+// ReadLabeled is Read with a timeline label.
+func (d *dieStation) ReadLabeled(dur sim.Time, label string, done func()) {
+	op := &dieOp{dur: dur, isRead: true, label: label, done: done}
+	if d.policy == DieFIFO {
+		d.progQ = append(d.progQ, op) // single queue in FIFO mode
+	} else {
+		d.readQ = append(d.readQ, op)
+	}
+	d.maybePreempt()
+	d.kick()
+}
+
+// Program schedules a program/erase/GC occupancy.
+func (d *dieStation) Program(dur sim.Time, done func()) {
+	d.progQ = append(d.progQ, &dieOp{dur: dur, label: "W", done: done})
+	d.kick()
+}
+
+// maybePreempt suspends a running program when policy allows and a
+// read is waiting.
+func (d *dieStation) maybePreempt() {
+	if d.policy != DieSuspension || d.running == nil || d.running.isRead || len(d.readQ) == 0 {
+		return
+	}
+	remaining := d.finishAt - d.eng.Now()
+	if remaining <= 0 {
+		return // completing this instant
+	}
+	d.eng.Cancel(d.finishEvt)
+	d.suspended = append(d.suspended, d.running)
+	d.suspRemain = append(d.suspRemain, remaining+d.resumePenalty)
+	d.suspensions++
+	d.running = nil
+}
+
+// kick starts the next operation if the die is free.
+func (d *dieStation) kick() {
+	if d.running != nil {
+		return
+	}
+	var op *dieOp
+	switch {
+	case len(d.readQ) > 0:
+		op = d.readQ[0]
+		d.readQ = d.readQ[1:]
+	case len(d.suspended) > 0:
+		// Resume the most recently suspended program.
+		n := len(d.suspended) - 1
+		op = d.suspended[n]
+		op.dur = d.suspRemain[n]
+		d.suspended = d.suspended[:n]
+		d.suspRemain = d.suspRemain[:n]
+	case len(d.progQ) > 0:
+		op = d.progQ[0]
+		d.progQ = d.progQ[1:]
+	default:
+		return
+	}
+	d.running = op
+	start := d.eng.Now()
+	d.finishAt = start + op.dur
+	d.finishEvt = d.eng.After(op.dur, func() {
+		d.running = nil
+		if d.record != nil {
+			d.record(d.name, op.label, start, d.eng.Now())
+		}
+		if op.done != nil {
+			op.done()
+		}
+		d.kick()
+	})
+}
+
+// Idle reports whether the die has no running or queued work.
+func (d *dieStation) Idle() bool {
+	return d.running == nil && len(d.readQ) == 0 && len(d.progQ) == 0 && len(d.suspended) == 0
+}
+
+// Suspensions reports how many preemptions occurred.
+func (d *dieStation) Suspensions() int64 { return d.suspensions }

@@ -1,0 +1,132 @@
+package ssd
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDieFIFOOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDieStation(eng, DieFIFO, 0)
+	var order []string
+	eng.At(0, func() {
+		d.Program(100, func() { order = append(order, "prog") })
+		d.Read(10, func() { order = append(order, "read") })
+	})
+	eng.Run()
+	if order[0] != "prog" || order[1] != "read" {
+		t.Fatalf("FIFO violated: %v", order)
+	}
+	if !d.Idle() || d.Suspensions() != 0 {
+		t.Fatal("die state wrong after drain")
+	}
+}
+
+func TestDieReadPriorityJumpsQueue(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDieStation(eng, DieReadPriority, 0)
+	var order []string
+	var readDone sim.Time
+	eng.At(0, func() {
+		d.Program(100, func() { order = append(order, "p1") })
+		d.Program(100, func() { order = append(order, "p2") })
+		d.Read(10, func() { order = append(order, "read"); readDone = eng.Now() })
+	})
+	eng.Run()
+	// The read overtakes p2 but does not preempt p1.
+	if order[0] != "p1" || order[1] != "read" || order[2] != "p2" {
+		t.Fatalf("priority order: %v", order)
+	}
+	if readDone != 110 {
+		t.Fatalf("read done at %v, want 110", readDone)
+	}
+}
+
+func TestDieSuspensionPreemptsProgram(t *testing.T) {
+	eng := sim.NewEngine()
+	const penalty = 20
+	d := newDieStation(eng, DieSuspension, penalty)
+	var readDone, progDone sim.Time
+	eng.At(0, func() {
+		d.Program(400, func() { progDone = eng.Now() })
+	})
+	eng.At(50, func() {
+		d.Read(40, func() { readDone = eng.Now() })
+	})
+	eng.Run()
+	// Read preempts at t=50, finishes at 90.
+	if readDone != 90 {
+		t.Fatalf("read done at %v, want 90", readDone)
+	}
+	// Program: 50 done + (350 remaining + 20 penalty) after the read.
+	if progDone != 90+350+penalty {
+		t.Fatalf("program done at %v, want %v", progDone, sim.Time(90+350+penalty))
+	}
+	if d.Suspensions() != 1 {
+		t.Fatalf("suspensions = %d", d.Suspensions())
+	}
+}
+
+func TestDieSuspensionDoesNotPreemptReads(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDieStation(eng, DieSuspension, 20)
+	var first sim.Time
+	eng.At(0, func() { d.Read(40, func() { first = eng.Now() }) })
+	eng.At(10, func() { d.Read(40, nil) })
+	eng.Run()
+	if first != 40 {
+		t.Fatalf("running read was disturbed: done at %v", first)
+	}
+	if d.Suspensions() != 0 {
+		t.Fatal("a read was suspended")
+	}
+}
+
+func TestDieSuspensionNestedPreemptions(t *testing.T) {
+	// Two reads arrive during one long erase; both preempt, and the
+	// erase eventually finishes with both penalties.
+	eng := sim.NewEngine()
+	const penalty = 20
+	d := newDieStation(eng, DieSuspension, penalty)
+	var eraseDone sim.Time
+	eng.At(0, func() { d.Program(3500, func() { eraseDone = eng.Now() }) })
+	eng.At(100, func() { d.Read(40, nil) })
+	eng.At(1000, func() { d.Read(40, nil) })
+	eng.Run()
+	// Total = 3500 + 2*40 (reads) + 2*20 (penalties).
+	if want := sim.Time(3500 + 80 + 40); eraseDone != want {
+		t.Fatalf("erase done at %v, want %v", eraseDone, want)
+	}
+	if d.Suspensions() != 2 {
+		t.Fatalf("suspensions = %d", d.Suspensions())
+	}
+}
+
+func TestSuspensionImprovesReadTail(t *testing.T) {
+	// End to end: with program suspension, read latencies on a mixed
+	// workload improve and the metric records the preemptions.
+	mk := func(policy DiePolicy) *Metrics {
+		cfg := smallConfig(RiF, 1000)
+		cfg.DiePolicy = policy
+		return run(t, cfg, smallWorkload(t, "Sys0", 2), 400)
+	}
+	fifo := mk(DieFIFO)
+	susp := mk(DieSuspension)
+	if susp.Suspensions == 0 {
+		t.Fatal("no suspensions recorded")
+	}
+	if fifo.Suspensions != 0 {
+		t.Fatal("FIFO policy recorded suspensions")
+	}
+	if susp.ReadLatencies.Percentile(99) >= fifo.ReadLatencies.Percentile(99) {
+		t.Fatalf("suspension did not improve read p99: %v vs %v",
+			susp.ReadLatencies.Percentile(99), fifo.ReadLatencies.Percentile(99))
+	}
+}
+
+func TestDiePolicyNames(t *testing.T) {
+	if DieFIFO.String() != "fifo" || DieReadPriority.String() != "read-priority" || DieSuspension.String() != "suspension" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package ssd
+
+import (
+	"repro/internal/sim"
+)
+
+// flushPage is one cached page awaiting its background program.
+type flushPage struct {
+	plane  int
+	gcTime sim.Time // garbage-collection debt carried by this page
+}
+
+// dieFlusher drains the write cache toward one die. It coalesces
+// buffered pages into full multi-plane programs — one page per plane
+// per tPROG — which is how real controllers amortize the 400-us
+// program over the plane parallelism (and what keeps mixed workloads
+// from being program-bound).
+type dieFlusher struct {
+	ssd      *SSD
+	die      *dieStation
+	ch       *channelStation
+	perPlane [][]flushPage // FIFO per plane
+	pending  int
+	active   bool
+}
+
+func newDieFlusher(s *SSD, die *dieStation, ch *channelStation) *dieFlusher {
+	return &dieFlusher{
+		ssd:      s,
+		die:      die,
+		ch:       ch,
+		perPlane: make([][]flushPage, s.cfg.Geometry.PlanesPerDie),
+	}
+}
+
+// enqueue buffers one page for background programming.
+func (f *dieFlusher) enqueue(p flushPage) {
+	f.perPlane[p.plane] = append(f.perPlane[p.plane], p)
+	f.pending++
+}
+
+// kick starts the flusher if it is idle and work exists.
+func (f *dieFlusher) kick() {
+	if f.active || f.pending == 0 {
+		return
+	}
+	f.active = true
+	f.flushBatch()
+}
+
+// flushBatch assembles a multi-plane batch (at most one page per
+// plane), moves it across the channel, programs it, releases the
+// cache slots, and loops while work remains.
+func (f *dieFlusher) flushBatch() {
+	var gc sim.Time
+	batch := 0
+	for pl := range f.perPlane {
+		if len(f.perPlane[pl]) == 0 {
+			continue
+		}
+		p := f.perPlane[pl][0]
+		f.perPlane[pl] = f.perPlane[pl][1:]
+		gc += p.gcTime
+		batch++
+	}
+	if batch == 0 {
+		f.active = false
+		return
+	}
+	f.pending -= batch
+	f.ch.submit(&xferJob{
+		kind:  xferWrite,
+		pages: batch,
+		label: "W",
+		onDecoded: func() {
+			f.die.Program(gc+f.ssd.cfg.Timing.TProg, func() {
+				f.ssd.cache.release(batch)
+				f.flushBatch()
+			})
+		},
+	})
+}
+
+// idle reports whether the flusher has no buffered or in-flight work.
+func (f *dieFlusher) idle() bool { return !f.active && f.pending == 0 }

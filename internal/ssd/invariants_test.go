@@ -1,0 +1,77 @@
+package ssd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestMetricsInvariantsAcrossRandomRuns drives randomized small
+// configurations through short runs and checks the structural
+// invariants every run must satisfy, whatever the scheme, wear or
+// workload mix.
+func TestMetricsInvariantsAcrossRandomRuns(t *testing.T) {
+	schemes := AllSchemes()
+	workloads := []string{"Ali2", "Ali81", "Ali124", "Sys0"}
+	f := func(schemeRaw, wlRaw uint8, peRaw uint16, seed uint64) bool {
+		scheme := schemes[int(schemeRaw)%len(schemes)]
+		wl := workloads[int(wlRaw)%len(workloads)]
+		pe := int(peRaw) % 3000
+		cfg := smallConfig(scheme, pe)
+		cfg.Seed = seed
+		cfg.QueueDepth = 32
+		m := run(t, cfg, smallWorkload(t, wl, seed), 120)
+
+		if m.RequestsCompleted != 120 {
+			return false
+		}
+		if m.Makespan <= 0 || m.Bandwidth() <= 0 {
+			return false
+		}
+		if m.PagesRetried > m.PageReads+m.Predictions {
+			return false
+		}
+		if m.Mispredictions > m.Predictions {
+			return false
+		}
+		idle, cor, uncor, wait := m.Channels.Fractions()
+		sum := idle + cor + uncor + wait
+		if sum < 0.999 || sum > 1.001 {
+			return false
+		}
+		if scheme == Zero && (m.PagesRetried != 0 || uncor != 0) {
+			return false
+		}
+		if scheme != RiF && scheme != RPOnly && m.Predictions != 0 {
+			return false
+		}
+		if m.ReadLatencies.N() > 0 && m.ReadLatencies.Percentile(0) <= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetriesVanishForFreshData checks a physical invariant: with
+// fresh data everywhere (no cold-region aging), off-chip schemes
+// never retry, and RiF's only retries are its rare benign false
+// positives (≲ the 0.5% accuracy floor).
+func TestRetriesVanishForFreshData(t *testing.T) {
+	for _, scheme := range []Scheme{One, Sentinel, SWR} {
+		cfg := smallConfig(scheme, 0)
+		m := run(t, cfg, &cacheProbeWorkload{cold: 0.01}, 200)
+		if m.PagesRetried != 0 {
+			t.Fatalf("%v: %d retries on fresh data", scheme, m.PagesRetried)
+		}
+	}
+	cfg := smallConfig(RiF, 0)
+	m := run(t, cfg, &cacheProbeWorkload{cold: 0.01}, 200)
+	if m.Channels.Uncor != 0 {
+		t.Fatalf("RiF shipped uncorrectable data on fresh pages")
+	}
+	if rate := float64(m.PagesRetried) / float64(m.PageReads); rate > 0.02 {
+		t.Fatalf("RiF false-positive retry rate %v on fresh data", rate)
+	}
+}

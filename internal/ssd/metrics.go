@@ -1,0 +1,152 @@
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/odear"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ChannelUsage breaks a channel's wall-clock time into the categories
+// of the paper's Fig. 18.
+type ChannelUsage struct {
+	// Cor is time spent transferring pages that subsequently decode.
+	Cor sim.Time
+	// Uncor is time spent transferring pages that fail decoding (or
+	// auxiliary transfers such as sentinel-cell reads).
+	Uncor sim.Time
+	// Write is time spent transferring write data to the dies.
+	Write sim.Time
+	// ECCWait is time the channel sat idle with transfers pending
+	// because the channel-level ECC buffer was full.
+	ECCWait sim.Time
+	// Total is the observation window.
+	Total sim.Time
+}
+
+// Idle is the remaining (truly idle) time.
+func (u ChannelUsage) Idle() sim.Time {
+	idle := u.Total - u.Cor - u.Uncor - u.Write - u.ECCWait
+	if idle < 0 {
+		idle = 0
+	}
+	return idle
+}
+
+// Fractions reports the breakdown normalized to the window, in the
+// order IDLE, COR, UNCOR, ECCWAIT (write transfer time is folded into
+// COR, as it is useful data movement).
+func (u ChannelUsage) Fractions() (idle, cor, uncor, eccWait float64) {
+	if u.Total == 0 {
+		return 1, 0, 0, 0
+	}
+	t := float64(u.Total)
+	return float64(u.Idle()) / t,
+		float64(u.Cor+u.Write) / t,
+		float64(u.Uncor) / t,
+		float64(u.ECCWait) / t
+}
+
+// add accumulates another channel's usage.
+func (u *ChannelUsage) add(v ChannelUsage) {
+	u.Cor += v.Cor
+	u.Uncor += v.Uncor
+	u.Write += v.Write
+	u.ECCWait += v.ECCWait
+	u.Total += v.Total
+}
+
+// Metrics is the result of one simulation run.
+type Metrics struct {
+	Scheme   Scheme
+	PECycles int
+
+	// Completed I/O volume.
+	RequestsCompleted int
+	BytesRead         int64
+	BytesWritten      int64
+
+	// Makespan is the virtual time to complete the run.
+	Makespan sim.Time
+
+	// ReadLatencies collects per-request read latencies in
+	// microseconds (Fig. 19).
+	ReadLatencies stats.Sample
+
+	// Channels is the aggregated channel usage (Fig. 18).
+	Channels ChannelUsage
+
+	// Retry behaviour.
+	PageReads          int64 // first-read pages sensed for the host
+	PagesRetried       int64 // pages that needed at least one retry
+	RetryRounds        int64 // total retry rounds executed
+	SentinelExtraReads int64
+	UnrecoveredPages   int64 // pages still failing after MaxRetryRounds
+
+	// Prediction behaviour (RiF and RPSSD).
+	Predictions      int64
+	Mispredictions   int64
+	AvoidedTransfers int64 // uncorrectable pages kept on-die by RiF
+
+	// GC activity.
+	GCRuns         int64
+	PagesRelocated int64
+
+	// Suspensions counts program/erase preemptions by reads
+	// (DieSuspension policy only).
+	Suspensions int64
+}
+
+// Bandwidth reports the achieved I/O bandwidth in MB/s (decimal,
+// matching the paper's axes).
+func (m *Metrics) Bandwidth() float64 {
+	if m.Makespan <= 0 {
+		return 0
+	}
+	return float64(m.BytesRead+m.BytesWritten) / 1e6 / m.Makespan.Seconds()
+}
+
+// ReadBandwidth reports the read-only bandwidth in MB/s.
+func (m *Metrics) ReadBandwidth() float64 {
+	if m.Makespan <= 0 {
+		return 0
+	}
+	return float64(m.BytesRead) / 1e6 / m.Makespan.Seconds()
+}
+
+// RetryRate reports the fraction of host page reads that required a
+// retry.
+func (m *Metrics) RetryRate() float64 {
+	if m.PageReads == 0 {
+		return 0
+	}
+	return float64(m.PagesRetried) / float64(m.PageReads)
+}
+
+// PredictionAccuracy reports the realized RP accuracy.
+func (m *Metrics) PredictionAccuracy() float64 {
+	if m.Predictions == 0 {
+		return 1
+	}
+	return 1 - float64(m.Mispredictions)/float64(m.Predictions)
+}
+
+// EnergyDeltaNJ reports the net read-path energy change versus a
+// conventional chip (§VI-C): each prediction costs
+// odear.PredictionEnergyNJ; each avoided uncorrectable transfer saves
+// odear.AvoidedTransferEnergyNJ. Negative values are net savings.
+func (m *Metrics) EnergyDeltaNJ() float64 {
+	return float64(m.Predictions)*odear.PredictionEnergyNJ -
+		float64(m.AvoidedTransfers)*odear.AvoidedTransferEnergyNJ
+}
+
+// String summarizes the run for experiment logs.
+func (m *Metrics) String() string {
+	idle, cor, uncor, wait := m.Channels.Fractions()
+	return fmt.Sprintf(
+		"%s pe=%d bw=%.0fMB/s reqs=%d retries=%.1f%% ch[idle=%.2f cor=%.2f uncor=%.2f eccwait=%.2f] p99=%.0fus",
+		m.Scheme, m.PECycles, m.Bandwidth(), m.RequestsCompleted,
+		100*m.RetryRate(), idle, cor, uncor, wait,
+		m.ReadLatencies.Percentile(99))
+}

@@ -1,0 +1,113 @@
+package ssd
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestOpenLoopHonorsArrivalTimes(t *testing.T) {
+	// Widely spaced arrivals: each request should complete before the
+	// next arrives, so read latency is the unloaded service time, far
+	// below what a saturating closed loop produces.
+	var reqs []trace.Request
+	for i := 0; i < 50; i++ {
+		reqs = append(reqs, trace.Request{
+			At:    sim.Time(i) * 2 * sim.Millisecond,
+			Op:    trace.Read,
+			LPN:   int64(i * 64),
+			Pages: 4,
+		})
+	}
+	cfg := smallConfig(Zero, 0)
+	cfg.OpenLoop = true
+	m := run(t, cfg, trace.NewReplayer(reqs, 5), 50)
+	if m.RequestsCompleted != 50 {
+		t.Fatalf("completed %d", m.RequestsCompleted)
+	}
+	// Makespan is at least the last arrival.
+	if m.Makespan < 49*2*sim.Millisecond {
+		t.Fatalf("makespan %v ignored arrival times", m.Makespan)
+	}
+	// Unloaded read: sense + transfer + decode + host, well under 1 ms.
+	if p99 := m.ReadLatencies.Percentile(99); p99 > 500 {
+		t.Fatalf("unloaded p99 = %vus", p99)
+	}
+}
+
+func TestOpenLoopBurstQueues(t *testing.T) {
+	// All requests arrive at t=0: the open loop must still complete
+	// them, and latencies now include queueing.
+	var reqs []trace.Request
+	for i := 0; i < 100; i++ {
+		reqs = append(reqs, trace.Request{Op: trace.Read, LPN: int64(i * 4), Pages: 4})
+	}
+	cfg := smallConfig(Zero, 0)
+	cfg.OpenLoop = true
+	m := run(t, cfg, trace.NewReplayer(reqs, 5), 100)
+	if m.RequestsCompleted != 100 {
+		t.Fatalf("completed %d", m.RequestsCompleted)
+	}
+	if m.ReadLatencies.Percentile(99) <= m.ReadLatencies.Percentile(1) {
+		t.Fatal("burst produced no queueing spread")
+	}
+}
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	mk := func() *Metrics {
+		var reqs []trace.Request
+		for i := 0; i < 60; i++ {
+			reqs = append(reqs, trace.Request{
+				At: sim.Time(i) * 100 * sim.Microsecond, Op: trace.Read,
+				LPN: int64(i * 16), Pages: 2,
+			})
+		}
+		cfg := smallConfig(RiF, 2000)
+		cfg.OpenLoop = true
+		return run(t, cfg, trace.NewReplayer(reqs, 20), 60)
+	}
+	a, b := mk(), mk()
+	if a.Makespan != b.Makespan || a.PagesRetried != b.PagesRetried {
+		t.Fatal("open-loop runs diverged")
+	}
+}
+
+func TestSecondCheckReducesUncorAtExtremeWear(t *testing.T) {
+	// At 3K P/E with month-old data, some adjusted-VREF re-reads stay
+	// uncorrectable; the footnote-4 second check keeps part of them
+	// off the channel.
+	mk := func(second bool) *Metrics {
+		cfg := smallConfig(RiF, 3000)
+		cfg.RiFSecondCheck = second
+		return run(t, cfg, smallWorkload(t, "Ali124", 1), 400)
+	}
+	without := mk(false)
+	with := mk(true)
+	if with.AvoidedTransfers < without.AvoidedTransfers {
+		t.Fatalf("second check avoided fewer transfers: %d vs %d",
+			with.AvoidedTransfers, without.AvoidedTransfers)
+	}
+	if with.Channels.Uncor > without.Channels.Uncor {
+		t.Fatalf("second check increased uncor channel time: %v vs %v",
+			with.Channels.Uncor, without.Channels.Uncor)
+	}
+}
+
+func TestSecondCheckNoEffectAtLowWear(t *testing.T) {
+	// When every re-read decodes (the common case), the second check
+	// must not change behaviour beyond its tPRED cost.
+	mk := func(second bool) *Metrics {
+		cfg := smallConfig(RiF, 1000)
+		cfg.RiFSecondCheck = second
+		return run(t, cfg, smallWorkload(t, "Sys0", 2), 300)
+	}
+	without := mk(false)
+	with := mk(true)
+	if with.Channels.Uncor != without.Channels.Uncor {
+		t.Fatalf("second check altered uncor at low wear")
+	}
+	if float64(with.Makespan) > float64(without.Makespan)*1.05 {
+		t.Fatalf("second check cost too much: %v vs %v", with.Makespan, without.Makespan)
+	}
+}

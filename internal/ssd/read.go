@@ -1,0 +1,318 @@
+package ssd
+
+import (
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// readCommand executes one multi-plane read under the configured
+// scheme and calls done when the data has been delivered to the host.
+func (s *SSD) readCommand(cmd dieCommand, done func()) {
+	die, ch := s.dieOf(cmd)
+	pages := s.resolvePages(cmd)
+	s.m.PageReads += int64(len(pages))
+
+	finish := func() { s.hostTransfer(len(pages), done) }
+
+	var lbl string
+	if s.cfg.RecordSpans {
+		lbl = cmdLabel(s.nextCmd)
+		s.nextCmd++
+	}
+
+	switch s.cfg.Scheme {
+	case Zero:
+		s.readZero(die, ch, pages, lbl, finish)
+	case One:
+		s.readOffChipRetry(die, ch, pages, lbl, s.cfg.Timing.TR, false, finish)
+	case Sentinel:
+		s.readOffChipRetry(die, ch, pages, lbl, s.cfg.Timing.TR, true, finish)
+	case SWR, SWRPlus:
+		s.readOffChipRetry(die, ch, pages, lbl, 2*s.cfg.Timing.TR, false, finish)
+	case RPOnly:
+		s.readRPController(die, ch, pages, lbl, finish)
+	case RiF:
+		s.readRiF(die, ch, pages, lbl, finish)
+	default:
+		panic("ssd: unknown scheme")
+	}
+}
+
+// readZero is the no-retry hypothetical: every page decodes in one
+// iteration.
+func (s *SSD) readZero(die *dieStation, ch *channelStation, pages []pageView, lbl string, finish func()) {
+	die.ReadLabeled(s.cfg.Timing.TR, lbl, func() {
+		ch.submit(&xferJob{
+			kind:       xferRead,
+			pages:      len(pages),
+			uncorPages: 0,
+			engineTime: sim.Time(len(pages)) * s.dec.MinLatency(),
+			onDecoded:  finish,
+			label:      lbl,
+		})
+	})
+}
+
+// readOffChipRetry is the shared flow of SSDone, SENC, SWR and SWR+:
+// the sensed page must cross the channel and fail the off-chip decode
+// before a retry (with the given re-sense duration) is issued.
+// sentinel adds the possible extra off-chip sentinel-cell read.
+func (s *SSD) readOffChipRetry(die *dieStation, ch *channelStation, pages []pageView, lbl string, retrySense sim.Time, sentinel bool, finish func()) {
+	rbers := make([]float64, len(pages))
+	uncor := 0
+	var failed []pageView
+	for i, p := range pages {
+		rbers[i] = p.rberFirst
+		if p.fails {
+			uncor++
+			failed = append(failed, p)
+		}
+	}
+	die.ReadLabeled(s.cfg.Timing.TR, lbl, func() {
+		ch.submit(&xferJob{
+			kind:       xferRead,
+			pages:      len(pages),
+			uncorPages: uncor,
+			engineTime: s.decodeLatency(rbers),
+			label:      lbl,
+			onDecoded: func() {
+				if len(failed) == 0 {
+					finish()
+					return
+				}
+				s.m.PagesRetried += int64(len(failed))
+				s.retryOffChip(die, ch, failed, lbl, retrySense, sentinel, 1, finish)
+			},
+		})
+	})
+}
+
+// retryOffChip performs one controller-driven retry round for the
+// failed pages and recurses while pages keep failing.
+func (s *SSD) retryOffChip(die *dieStation, ch *channelStation, failed []pageView, lbl string, retrySense sim.Time, sentinel bool, round int, finish func()) {
+	s.m.RetryRounds++
+	doRetry := func() {
+		die.ReadLabeled(retrySense, lbl+"'", func() {
+			rbers := make([]float64, len(failed))
+			var still []pageView
+			uncor := 0
+			for i, p := range failed {
+				rbers[i] = p.rberRetry
+				if p.rberRetry > s.dec.Capability {
+					uncor++
+					still = append(still, p)
+				}
+			}
+			ch.submit(&xferJob{
+				kind:       xferRead,
+				pages:      len(failed),
+				uncorPages: uncor,
+				engineTime: s.decodeLatency(rbers),
+				label:      lbl + "'",
+				onDecoded: func() {
+					if len(still) == 0 {
+						finish()
+						return
+					}
+					if round >= s.cfg.MaxRetryRounds {
+						s.m.UnrecoveredPages += int64(len(still))
+						finish()
+						return
+					}
+					s.retryOffChip(die, ch, still, lbl, retrySense, sentinel, round+1, finish)
+				},
+			})
+		})
+	}
+
+	if sentinel && s.sentinelRNG.Bernoulli(s.cfg.SentinelExtraReadProb) {
+		// Sentinel's extra off-chip read: the sentinel cells are read
+		// with the sentinel VREF set and shipped to the controller;
+		// the transfer is pure overhead (UNCOR).
+		s.m.SentinelExtraReads += int64(len(failed))
+		die.ReadLabeled(s.cfg.Timing.TR, lbl, func() {
+			ch.submit(&xferJob{
+				kind:       xferRead,
+				pages:      len(failed),
+				uncorPages: len(failed),
+				engineTime: 0, // analyzed by dedicated logic, not the LDPC engine
+				label:      lbl + "'",
+				onDecoded:  doRetry,
+			})
+		})
+		return
+	}
+	doRetry()
+}
+
+// readRPController is RPSSD: the RP module sits next to the
+// controller's ECC engine. Doomed decodes are terminated after tPRED,
+// but uncorrectable pages still consume channel bandwidth.
+func (s *SSD) readRPController(die *dieStation, ch *channelStation, pages []pageView, lbl string, finish func()) {
+	var engineTime sim.Time
+	uncor := 0
+	var failed []pageView
+	for _, p := range pages {
+		predFail := s.predictFail(p)
+		switch {
+		case predFail:
+			// Decode cut short at the prediction latency. (A false
+			// positive also lands here: the page is retried anyway.)
+			engineTime += s.cfg.Timing.TPred
+		default:
+			// Predicted correctable: the decode runs to completion —
+			// for a false negative that is the full failing decode.
+			engineTime += s.dec.Decode(p.rberFirst).Latency
+		}
+		if p.fails {
+			uncor++
+		}
+		if p.fails || predFail {
+			failed = append(failed, p)
+		}
+	}
+	die.ReadLabeled(s.cfg.Timing.TR, lbl, func() {
+		ch.submit(&xferJob{
+			kind:       xferRead,
+			pages:      len(pages),
+			uncorPages: uncor,
+			engineTime: engineTime,
+			label:      lbl,
+			onDecoded: func() {
+				if len(failed) == 0 {
+					finish()
+					return
+				}
+				s.m.PagesRetried += int64(len(failed))
+				s.retryOffChip(die, ch, failed, lbl, s.cfg.Timing.TR, false, 1, finish)
+			},
+		})
+	})
+}
+
+// readRiF is the full Retry-in-Flash flow: RP predicts on-die right
+// after the sense; predicted-uncorrectable pages are re-read inside
+// the die at RVS-selected voltages before anything crosses the
+// channel. Only false negatives ever ship a doomed page.
+func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl string, finish func()) {
+	type plan struct {
+		view     pageView
+		predFail bool
+	}
+	plans := make([]plan, len(pages))
+	anyRetry := false
+	for i, p := range pages {
+		pf := s.predictFail(p)
+		plans[i] = plan{view: p, predFail: pf}
+		if pf {
+			anyRetry = true
+			if p.fails {
+				s.m.AvoidedTransfers++
+			}
+		}
+	}
+
+	dieTime := s.cfg.Timing.TR + s.cfg.Timing.TPred
+	if anyRetry {
+		// RVS re-reads the flagged planes in parallel: one extra
+		// sense. (The initial sense doubles as Swift-Read's probe
+		// read: the ones-count is already in the page buffer.)
+		dieTime += s.cfg.Timing.TR
+	}
+
+	// Footnote-4 extension: RP also checks the re-read pages, and a
+	// page whose adjusted-VREF read is still uncorrectable gets one
+	// further in-die refinement instead of a doomed transfer.
+	secondRetry := false
+	if s.cfg.RiFSecondCheck && anyRetry {
+		dieTime += s.cfg.Timing.TPred
+		for i := range plans {
+			pl := &plans[i]
+			if !pl.predFail || pl.view.rberRetry <= s.dec.Capability {
+				continue
+			}
+			s.m.Predictions++
+			if s.acc.PredictCorrect(pl.view.rberRetry, s.predictRNG.Float64()) {
+				// Caught: a second Swift-Read pass refines the VREF
+				// estimate further (diminishing returns).
+				pl.view.rberRetry *= 0.6
+				s.m.AvoidedTransfers++
+				secondRetry = true
+			} else {
+				s.m.Mispredictions++
+			}
+		}
+		if secondRetry {
+			dieTime += s.cfg.Timing.TR
+		}
+	}
+
+	die.ReadLabeled(dieTime, lbl, func() {
+		rbers := make([]float64, len(plans))
+		uncor := 0
+		var failed []pageView
+		retriedNow := int64(0)
+		for i, pl := range plans {
+			if pl.predFail {
+				rbers[i] = pl.view.rberRetry
+				retriedNow++
+				if pl.view.rberRetry > s.dec.Capability {
+					uncor++
+					failed = append(failed, pl.view)
+				}
+			} else {
+				rbers[i] = pl.view.rberFirst
+				if pl.view.fails {
+					// False negative: the doomed page crosses the
+					// channel and burns a full failing decode.
+					uncor++
+					failed = append(failed, pl.view)
+					retriedNow++
+				}
+			}
+		}
+		s.m.PagesRetried += retriedNow
+		if anyRetry {
+			s.m.RetryRounds++
+		}
+		ch.submit(&xferJob{
+			kind:       xferRead,
+			pages:      len(plans),
+			uncorPages: uncor,
+			engineTime: s.decodeLatency(rbers),
+			label:      lbl,
+			onDecoded: func() {
+				if len(failed) == 0 {
+					finish()
+					return
+				}
+				// Recovery path for mispredictions: conventional
+				// controller-driven retry.
+				s.retryOffChip(die, ch, failed, lbl, s.cfg.Timing.TR, false, 1, finish)
+			},
+		})
+	})
+}
+
+// predictFail draws RP's prediction for a page from the calibrated
+// accuracy model and accounts for it.
+func (s *SSD) predictFail(p pageView) bool {
+	s.m.Predictions++
+	correct := s.acc.PredictCorrect(p.rberFirst, s.predictRNG.Float64())
+	if !correct {
+		s.m.Mispredictions++
+	}
+	if correct {
+		return p.fails
+	}
+	return !p.fails
+}
+
+// vrefModeForScheme reports the first-read VREF mode (exported for
+// tests via a tiny indirection).
+func vrefModeForScheme(sc Scheme) nand.VrefMode {
+	if sc == SWRPlus {
+		return nand.TrackedVref
+	}
+	return nand.DefaultVref
+}

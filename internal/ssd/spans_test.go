@@ -1,0 +1,111 @@
+package ssd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+type spanWorkload struct{}
+
+func (spanWorkload) Next() trace.Request {
+	return trace.Request{Op: trace.Read, LPN: 0, Pages: 8}
+}
+func (spanWorkload) InitialAgeDays(lpn int64) float64 {
+	if lpn < 4 {
+		return 25
+	}
+	return 0.02
+}
+
+func spanConfig(scheme Scheme) Config {
+	cfg := smallConfig(scheme, 1000)
+	cfg.Geometry.Channels = 1
+	cfg.Geometry.DiesPerChan = 2
+	cfg.QueueDepth = 1
+	cfg.RecordSpans = true
+	cfg.Timing.THostPage = 0
+	return cfg
+}
+
+func TestSpansRecorded(t *testing.T) {
+	s, err := New(spanConfig(One), spanWorkload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	spans := s.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	resources := map[string]bool{}
+	labels := map[string]bool{}
+	for i, sp := range spans {
+		resources[sp.Resource] = true
+		labels[sp.Label] = true
+		if sp.End < sp.Start {
+			t.Fatalf("span %d reversed: %+v", i, sp)
+		}
+		if i > 0 && sp.Start < spans[i-1].Start {
+			t.Fatal("spans not sorted by start")
+		}
+	}
+	for _, want := range []string{"die0", "die1", "ch0", "ecc-ch0"} {
+		if !resources[want] {
+			t.Fatalf("resource %q missing from spans (have %v)", want, resources)
+		}
+	}
+	// The stressed command A must show a retry label A'.
+	if !labels["A"] || !labels["A'"] {
+		t.Fatalf("labels missing: %v", labels)
+	}
+}
+
+func TestSpansOffByDefault(t *testing.T) {
+	cfg := spanConfig(One)
+	cfg.RecordSpans = false
+	s, err := New(cfg, spanWorkload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Spans()) != 0 {
+		t.Fatal("spans recorded while disabled")
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	spans := []Span{
+		{Resource: "die0", Label: "A", Start: 0, End: 40 * sim.Microsecond},
+		{Resource: "ch0", Label: "A", Start: 40 * sim.Microsecond, End: 90 * sim.Microsecond},
+		{Resource: "die0", Label: "A'", Start: 100 * sim.Microsecond, End: 140 * sim.Microsecond},
+	}
+	out := RenderGantt(spans, 5)
+	if !strings.Contains(out, "die0") || !strings.Contains(out, "ch0") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "A") {
+		t.Fatal("glyph A missing")
+	}
+	if !strings.Contains(out, "a") {
+		t.Fatal("retry glyph (lowercase) missing")
+	}
+	if RenderGantt(nil, 5) != "(no spans recorded)\n" {
+		t.Fatal("empty render wrong")
+	}
+}
+
+func TestCmdLabelSequence(t *testing.T) {
+	if cmdLabel(0) != "A" || cmdLabel(25) != "Z" {
+		t.Fatal("single-letter labels wrong")
+	}
+	if cmdLabel(26) != "A1" || cmdLabel(53) != "B2" {
+		t.Fatalf("wrapped labels wrong: %q %q", cmdLabel(26), cmdLabel(53))
+	}
+}

@@ -1,0 +1,353 @@
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/nand"
+	"repro/internal/odear"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Workload supplies requests to the closed-loop host and the initial
+// retention age of cold data. trace.Generator and trace.Replayer
+// implement it.
+type Workload interface {
+	Next() trace.Request
+	InitialAgeDays(lpn int64) float64
+}
+
+// SSD is one simulated device instance. Build it with New, run it
+// with Run; an instance is single-use.
+type SSD struct {
+	cfg   Config
+	eng   *sim.Engine
+	model *nand.Model
+	dec   *ecc.Engine
+	acc   odear.AccuracyModel
+	ftl   *FTL
+
+	dies     []*dieStation
+	channels []*channelStation
+	host     *sim.Resource
+
+	predictRNG  *sim.RNG
+	sentinelRNG *sim.RNG
+
+	readCounts  []int32 // per-block read counters (read disturb)
+	eraseCounts []int32 // per-block erase counters (wear on top of PECycles)
+
+	cache    *writeCache
+	flushers []*dieFlusher
+
+	workload Workload
+	toIssue  int
+	inFlight int
+	lastDone sim.Time
+
+	spans   []Span
+	nextCmd int
+
+	m Metrics
+}
+
+// New assembles an SSD from the configuration.
+func New(cfg Config, w Workload) (*SSD, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w == nil {
+		return nil, fmt.Errorf("ssd: nil workload")
+	}
+	eng := sim.NewEngine()
+	s := &SSD{
+		cfg:         cfg,
+		eng:         eng,
+		model:       nand.NewModel(cfg.NANDParams, cfg.Seed),
+		dec:         ecc.NewEngine(),
+		acc:         accuracyModelFor(cfg),
+		ftl:         NewFTL(cfg.Geometry),
+		host:        sim.NewResource(eng, "host", 1),
+		predictRNG:  sim.NewRNG(cfg.Seed, 101),
+		sentinelRNG: sim.NewRNG(cfg.Seed, 102),
+		readCounts:  make([]int32, cfg.Geometry.TotalBlocks()),
+		eraseCounts: make([]int32, cfg.Geometry.TotalBlocks()),
+		cache:       newWriteCache(cfg.WriteCachePages),
+		workload:    w,
+	}
+	// Dynamic wear leveling: allocation prefers the least-erased
+	// free block.
+	s.ftl.WearOf = func(plane nand.Address, block int) int {
+		a := plane
+		a.Block = block
+		return int(s.eraseCounts[cfg.Geometry.BlockID(a)])
+	}
+	s.m.Scheme = cfg.Scheme
+	s.m.PECycles = cfg.PECycles
+	for d := 0; d < cfg.Geometry.TotalDies(); d++ {
+		die := newDieStation(eng, cfg.DiePolicy, cfg.ResumePenalty)
+		die.name = fmt.Sprintf("die%d", d)
+		if cfg.RecordSpans {
+			die.record = s.addSpan
+		}
+		s.dies = append(s.dies, die)
+	}
+	for ch := 0; ch < cfg.Geometry.Channels; ch++ {
+		st := newChannelStation(eng, cfg.Timing.TDMAPage, cfg.ECCBufferSlots)
+		st.name = fmt.Sprintf("ch%d", ch)
+		if cfg.RecordSpans {
+			st.record = s.addSpan
+		}
+		s.channels = append(s.channels, st)
+	}
+	for d := 0; d < cfg.Geometry.TotalDies(); d++ {
+		s.flushers = append(s.flushers, newDieFlusher(s, s.dies[d], s.channels[d/cfg.Geometry.DiesPerChan]))
+	}
+	return s, nil
+}
+
+// accuracyModelFor derives the RP accuracy model, honouring the
+// ablation override.
+func accuracyModelFor(cfg Config) odear.AccuracyModel {
+	m := odear.DefaultAccuracyModel(nand.ECCCapabilityRBER)
+	if cfg.PredictionFloor > 0 {
+		m.Floor = cfg.PredictionFloor
+	}
+	return m
+}
+
+// Engine exposes the simulation clock (for tests).
+func (s *SSD) Engine() *sim.Engine { return s.eng }
+
+// Run executes nRequests requests in closed loop at the configured
+// queue depth and returns the collected metrics.
+func (s *SSD) Run(nRequests int) (*Metrics, error) {
+	if nRequests <= 0 {
+		return nil, fmt.Errorf("ssd: nRequests = %d", nRequests)
+	}
+	s.toIssue = nRequests
+	if s.cfg.OpenLoop {
+		s.scheduleNextArrival()
+	} else {
+		initial := s.cfg.QueueDepth
+		if initial > nRequests {
+			initial = nRequests
+		}
+		for i := 0; i < initial; i++ {
+			s.issueNext()
+		}
+	}
+	s.eng.Run()
+	if err := s.finishRun(); err != nil {
+		return nil, err
+	}
+	return &s.m, nil
+}
+
+// finishRun verifies the device drained cleanly and folds the final
+// accounting into the metrics.
+func (s *SSD) finishRun() error {
+	if s.inFlight != 0 {
+		return fmt.Errorf("ssd: simulation drained with %d requests in flight", s.inFlight)
+	}
+	if !s.cache.idle() {
+		return fmt.Errorf("ssd: write cache not drained at end of run")
+	}
+	for _, f := range s.flushers {
+		if !f.idle() {
+			return fmt.Errorf("ssd: die flusher not drained at end of run")
+		}
+	}
+	for _, d := range s.dies {
+		if !d.Idle() {
+			return fmt.Errorf("ssd: die not drained at end of run")
+		}
+		s.m.Suspensions += d.Suspensions()
+	}
+	// Bandwidth is measured to the completion of the last host
+	// request; background flushes may run on slightly past it.
+	s.m.Makespan = s.lastDone
+	for _, ch := range s.channels {
+		if !ch.quiesced() {
+			return fmt.Errorf("ssd: channel not quiesced at drain")
+		}
+		s.m.Channels.add(ch.usage())
+	}
+	s.m.GCRuns, s.m.PagesRelocated = s.ftl.GCStats()
+	return nil
+}
+
+func (s *SSD) issueNext() {
+	if s.toIssue == 0 {
+		return
+	}
+	s.toIssue--
+	s.inFlight++
+	req := s.workload.Next()
+	s.startRequest(req, true)
+}
+
+// scheduleNextArrival drives the open-loop host: each request is
+// admitted at its trace arrival time, independent of completions.
+func (s *SSD) scheduleNextArrival() {
+	if s.toIssue == 0 {
+		return
+	}
+	s.toIssue--
+	req := s.workload.Next()
+	at := req.At
+	if at < s.eng.Now() {
+		at = s.eng.Now()
+	}
+	s.eng.At(at, func() {
+		s.inFlight++
+		s.startRequest(req, false)
+		s.scheduleNextArrival()
+	})
+}
+
+// startRequest runs a request and records its completion. In closed
+// loop (chain == true) the completion admits the next request.
+func (s *SSD) startRequest(req trace.Request, chain bool) {
+	start := s.eng.Now()
+	s.runRequest(req, func() {
+		s.inFlight--
+		s.m.RequestsCompleted++
+		s.lastDone = s.eng.Now()
+		bytes := int64(req.Pages) * int64(s.cfg.Geometry.PageBytes)
+		if req.Op == trace.Read {
+			s.m.BytesRead += bytes
+			s.m.ReadLatencies.Add((s.eng.Now() - start).Microseconds())
+		} else {
+			s.m.BytesWritten += bytes
+		}
+		if chain {
+			s.issueNext()
+		}
+	})
+}
+
+// dieCommand is one multi-plane operation: up to PlanesPerDie
+// consecutive logical pages on distinct planes of one die.
+type dieCommand struct {
+	lpns []int64
+}
+
+// splitRequest groups a request's pages into die commands along the
+// striping.
+func (s *SSD) splitRequest(req trace.Request) []dieCommand {
+	p := int64(s.cfg.Geometry.PlanesPerDie)
+	var cmds []dieCommand
+	lpn := req.LPN
+	remaining := req.Pages
+	for remaining > 0 {
+		group := lpn / p
+		end := (group + 1) * p // first lpn of the next group
+		n := int(end - lpn)
+		if n > remaining {
+			n = remaining
+		}
+		cmd := dieCommand{}
+		for i := 0; i < n; i++ {
+			cmd.lpns = append(cmd.lpns, lpn+int64(i))
+		}
+		cmds = append(cmds, cmd)
+		lpn += int64(n)
+		remaining -= n
+	}
+	return cmds
+}
+
+func (s *SSD) runRequest(req trace.Request, done func()) {
+	cmds := s.splitRequest(req)
+	outstanding := len(cmds)
+	oneDone := func() {
+		outstanding--
+		if outstanding == 0 {
+			done()
+		}
+	}
+	for _, cmd := range cmds {
+		cmd := cmd
+		if req.Op == trace.Read {
+			s.readCommand(cmd, oneDone)
+		} else {
+			s.writeCommand(cmd, oneDone)
+		}
+	}
+}
+
+// pageView is the resolved physical and reliability state of one page
+// at command issue.
+type pageView struct {
+	lpn       int64
+	addr      nand.Address
+	blockID   int
+	ptype     nand.PageType
+	retention float64 // days
+	rberFirst float64 // at the scheme's first-read VREF mode
+	rberRetry float64 // after VREF adjustment (near-optimal)
+	fails     bool    // first read exceeds the ECC capability
+}
+
+// resolvePages looks up every page of a command and evaluates its
+// RBER under the scheme's first-read VREF mode.
+func (s *SSD) resolvePages(cmd dieCommand) []pageView {
+	firstMode := vrefModeForScheme(s.cfg.Scheme)
+	views := make([]pageView, 0, len(cmd.lpns))
+	for _, lpn := range cmd.lpns {
+		addr, writtenAt, written := s.ftl.Lookup(lpn)
+		age := s.workload.InitialAgeDays(lpn)
+		if written {
+			age = (s.eng.Now() - writtenAt).Seconds() / 86400
+		}
+		bid := s.cfg.Geometry.BlockID(addr)
+		reads := int(s.readCounts[bid])
+		s.readCounts[bid]++
+		pt := nand.PageTypeOf(addr.Page)
+		pe := s.cfg.PECycles + int(s.eraseCounts[bid])
+		first := s.model.PageRBER(bid, pt, pe, age, reads, firstMode)
+		retry := s.model.PageRBER(bid, pt, pe, age, reads, nand.OptimalVref)
+		views = append(views, pageView{
+			lpn:       lpn,
+			addr:      addr,
+			blockID:   bid,
+			ptype:     pt,
+			retention: age,
+			rberFirst: first,
+			rberRetry: retry,
+			fails:     first > s.dec.Capability,
+		})
+	}
+	return views
+}
+
+// dieOf reports the die resource and channel station of a command.
+func (s *SSD) dieOf(cmd dieCommand) (*dieStation, *channelStation) {
+	addr, _, _ := s.ftl.Lookup(cmd.lpns[0])
+	return s.dies[s.cfg.Geometry.DieID(addr)], s.channels[addr.Channel]
+}
+
+// sense occupies the die with an array read for dur, then runs next.
+func (s *SSD) sense(die *dieStation, dur sim.Time, next func()) {
+	die.Read(dur, next)
+}
+
+// hostTransfer moves pages across the host link, then runs next.
+func (s *SSD) hostTransfer(pages int, next func()) {
+	if s.cfg.Timing.THostPage == 0 {
+		next()
+		return
+	}
+	s.host.Use(sim.Time(pages)*s.cfg.Timing.THostPage, next)
+}
+
+// decodeLatency sums per-page tECC for the given RBERs.
+func (s *SSD) decodeLatency(rbers []float64) sim.Time {
+	var t sim.Time
+	for _, r := range rbers {
+		t += s.dec.Decode(r).Latency
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package ssd
+
+import (
+	"repro/internal/sim"
+)
+
+// writeCommand executes one multi-plane program: host link, then the
+// write data crosses the channel to the die, then the die programs
+// all planes in one tPROG. Garbage collection triggered by the
+// allocation is charged to the die (copyback relocation plus erase)
+// before the program starts.
+//
+// With a write cache, the host-visible write completes once the data
+// is buffered in controller DRAM; the channel transfer and program
+// run as a background flush that releases the buffer when durable.
+func (s *SSD) writeCommand(cmd dieCommand, done func()) {
+	die, ch := s.dieOf(cmd)
+
+	var gcTime sim.Time
+	for _, lpn := range cmd.lpns {
+		_, work, err := s.ftl.Write(lpn, s.eng.Now(), s.cfg.GCFreeBlockLow)
+		if err != nil {
+			// An out-of-space plane is a configuration error; surface
+			// it loudly rather than silently dropping writes.
+			panic(err)
+		}
+		if work != nil {
+			gcTime += s.gcTime(work)
+			victim := work.Plane
+			victim.Block = work.VictimBlock
+			s.eraseCounts[s.cfg.Geometry.BlockID(victim)]++
+			// Erasing also clears the accumulated read disturb.
+			s.readCounts[s.cfg.Geometry.BlockID(victim)] = 0
+		}
+	}
+
+	pages := len(cmd.lpns)
+	if !s.cache.enabled() {
+		// Write-through: the host waits for the program.
+		s.hostTransfer(pages, func() {
+			ch.submit(&xferJob{
+				kind:  xferWrite,
+				pages: pages,
+				label: "W",
+				onDecoded: func() {
+					die.Program(gcTime+s.cfg.Timing.TProg, done)
+				},
+			})
+		})
+		return
+	}
+	s.cache.acquire(pages, func() {
+		s.hostTransfer(pages, func() {
+			done() // host sees the write complete at buffer time
+			addr, _, _ := s.ftl.Lookup(cmd.lpns[0])
+			f := s.flushers[s.cfg.Geometry.DieID(addr)]
+			for i, lpn := range cmd.lpns {
+				a, _, _ := s.ftl.Lookup(lpn)
+				gc := sim.Time(0)
+				if i == 0 {
+					gc = gcTime // the batch that carries page 0 pays the GC debt
+				}
+				f.enqueue(flushPage{plane: a.Plane, gcTime: gc})
+			}
+			f.kick()
+		})
+	})
+}
+
+// gcTime charges a garbage collection: valid pages move by in-die
+// copyback (read + program per plane-parallel batch, no channel
+// traffic) and the victim block is erased.
+func (s *SSD) gcTime(work *GCWork) sim.Time {
+	batches := (work.PagesRelocated + s.cfg.Geometry.PlanesPerDie - 1) / s.cfg.Geometry.PlanesPerDie
+	t := sim.Time(batches) * (s.cfg.Timing.TR + s.cfg.Timing.TProg)
+	t += sim.Time(work.Erases) * s.cfg.Timing.TErase
+	return t
+}

@@ -1,0 +1,175 @@
+// Package stats provides the lightweight statistics the experiment
+// harness needs: streaming summaries, exact percentiles, CDF export
+// and geometric means.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates count/mean/min/max/variance in one pass
+// (Welford's algorithm).
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N reports the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean reports the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min reports the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Var reports the sample variance (0 for fewer than two points).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// String formats the summary for experiment logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g sd=%.4g",
+		s.n, s.Mean(), s.Min(), s.Max(), s.StdDev())
+}
+
+// Sample keeps every observation for exact percentile queries. For
+// the volumes this simulator produces (millions of latencies) exact
+// retention is affordable and avoids sketch error in the tails the
+// paper cares about (P99.99, Fig. 19).
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean reports the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range s.xs {
+		t += x
+	}
+	return t / float64(len(s.xs))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted sample. Empty samples yield 0.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.xs[rank-1]
+}
+
+// Max reports the largest observation (0 when empty).
+func (s *Sample) Max() float64 { return s.Percentile(100) }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // cumulative fraction <= X
+}
+
+// CDF returns an empirical CDF downsampled to at most points entries
+// (always including the extremes), suitable for plotting Fig. 19.
+func (s *Sample) CDF(points int) []CDFPoint {
+	if len(s.xs) == 0 || points <= 0 {
+		return nil
+	}
+	s.sort()
+	if points > len(s.xs) {
+		points = len(s.xs)
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		idx := i * (len(s.xs) - 1) / max(points-1, 1)
+		out = append(out, CDFPoint{
+			X: s.xs[idx],
+			F: float64(idx+1) / float64(len(s.xs)),
+		})
+	}
+	return out
+}
+
+// GeoMean reports the geometric mean of xs; non-positive entries are
+// rejected with a panic because they indicate a harness bug.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	acc := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		acc += math.Log(x)
+	}
+	return math.Exp(acc / float64(len(xs)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

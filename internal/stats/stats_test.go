@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v", s.Var())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Var() != 0 {
+		t.Fatal("variance of single point must be 0")
+	}
+	if s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("min/max of single point wrong")
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Summary
+		var sum float64
+		clean := raw[:0]
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			clean = append(clean, x)
+			s.Add(x)
+			sum += x
+		}
+		if len(clean) == 0 {
+			return s.N() == 0
+		}
+		mean := sum / float64(len(clean))
+		return math.Abs(s.Mean()-mean) < 1e-6*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 1}, {50, 50}, {99, 99}, {99.99, 100}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{9, 1, 5, 3, 7} {
+		s.Add(x)
+	}
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("median = %v", got)
+	}
+	// Adding after a query must re-sort.
+	s.Add(0)
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("min after append = %v", got)
+	}
+}
+
+func TestSampleMeanAndMax(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Add(x)
+	}
+	if s.Mean() != 2.5 || s.Max() != 4 || s.N() != 4 {
+		t.Fatalf("mean=%v max=%v n=%d", s.Mean(), s.Max(), s.N())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.CDF(10) != nil {
+		t.Fatal("empty sample not zero-valued")
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("CDF has %d points", len(cdf))
+	}
+	if cdf[0].X != 0 {
+		t.Fatalf("CDF does not start at min: %v", cdf[0])
+	}
+	if cdf[len(cdf)-1].X != 999 || cdf[len(cdf)-1].F != 1 {
+		t.Fatalf("CDF does not end at (max, 1): %+v", cdf[len(cdf)-1])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].F < cdf[i-1].F {
+			t.Fatal("CDF not monotonic")
+		}
+	}
+}
+
+func TestCDFSmallSample(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	s.Add(1)
+	cdf := s.CDF(10)
+	if len(cdf) != 2 {
+		t.Fatalf("CDF of 2 points has %d entries", len(cdf))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 10", g)
+	}
+	if g := GeoMean([]float64{7}); g != 7 {
+		t.Fatalf("GeoMean single = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean empty = %v", g)
+	}
+}
+
+func TestGeoMeanRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean accepted zero")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// WriteCSV emits requests in a simple text format, one per line:
+//
+//	<arrival_us>,<R|W>,<lpn>,<pages>
+//
+// so synthesized workloads can be archived and replayed, and real
+// block traces can be converted into it.
+func WriteCSV(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# arrival_us,op,lpn,pages"); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		if _, err := fmt.Fprintf(bw, "%.3f,%s,%d,%d\n",
+			r.At.Microseconds(), r.Op, r.LPN, r.Pages); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format. Blank lines and lines starting
+// with '#' are skipped.
+func ReadCSV(r io.Reader) ([]Request, error) {
+	var out []Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(parts))
+		}
+		us, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil || us < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad arrival %q", line, parts[0])
+		}
+		var op Op
+		switch strings.TrimSpace(parts[1]) {
+		case "R", "r":
+			op = Read
+		case "W", "w":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, parts[1])
+		}
+		lpn, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+		if err != nil || lpn < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad lpn %q", line, parts[2])
+		}
+		pages, err := strconv.Atoi(strings.TrimSpace(parts[3]))
+		if err != nil || pages <= 0 {
+			return nil, fmt.Errorf("trace: line %d: bad pages %q", line, parts[3])
+		}
+		out = append(out, Request{
+			At:    sim.Time(us * float64(sim.Microsecond)),
+			Op:    op,
+			LPN:   lpn,
+			Pages: pages,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Replayer adapts a recorded request slice to the generator
+// interface: Next returns requests in order and wraps around, so a
+// short trace can drive an arbitrarily long closed-loop run.
+type Replayer struct {
+	reqs []Request
+	next int
+	// AgeDays is the initial retention age assigned to every logical
+	// page (replayed traces carry no retention metadata).
+	AgeDays float64
+}
+
+// NewReplayer wraps recorded requests. It panics on an empty slice:
+// an empty trace cannot drive a run.
+func NewReplayer(reqs []Request, ageDays float64) *Replayer {
+	if len(reqs) == 0 {
+		panic("trace: replaying empty trace")
+	}
+	return &Replayer{reqs: reqs, AgeDays: ageDays}
+}
+
+// Next returns the next recorded request, wrapping at the end.
+func (r *Replayer) Next() Request {
+	req := r.reqs[r.next]
+	r.next = (r.next + 1) % len(r.reqs)
+	return req
+}
+
+// InitialAgeDays reports the configured uniform initial age.
+func (r *Replayer) InitialAgeDays(int64) float64 { return r.AgeDays }

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ReadMSR parses block traces in the MSR-Cambridge CSV format, the
+// most common public format for production storage traces:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamp is in Windows filetime units (100 ns ticks), Offset and
+// Size are bytes, Type is "Read" or "Write". Requests are converted
+// to 16-KiB logical pages with timestamps rebased so the first
+// request arrives at zero; requests on other disks than diskFilter
+// are skipped (use -1 for all disks).
+func ReadMSR(r io.Reader, pageBytes int, diskFilter int) ([]Request, error) {
+	if pageBytes <= 0 {
+		return nil, fmt.Errorf("trace: page bytes %d", pageBytes)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Request
+	var base int64 = -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) < 6 {
+			return nil, fmt.Errorf("trace: msr line %d: %d fields", line, len(parts))
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil || ts < 0 {
+			return nil, fmt.Errorf("trace: msr line %d: bad timestamp %q", line, parts[0])
+		}
+		disk, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: msr line %d: bad disk %q", line, parts[2])
+		}
+		if diskFilter >= 0 && disk != diskFilter {
+			continue
+		}
+		var op Op
+		switch strings.ToLower(strings.TrimSpace(parts[3])) {
+		case "read", "r":
+			op = Read
+		case "write", "w":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: msr line %d: bad type %q", line, parts[3])
+		}
+		off, err := strconv.ParseInt(strings.TrimSpace(parts[4]), 10, 64)
+		if err != nil || off < 0 {
+			return nil, fmt.Errorf("trace: msr line %d: bad offset %q", line, parts[4])
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(parts[5]), 10, 64)
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("trace: msr line %d: bad size %q", line, parts[5])
+		}
+		if base < 0 {
+			base = ts
+		}
+		firstPage := off / int64(pageBytes)
+		lastPage := (off + size - 1) / int64(pageBytes)
+		out = append(out, Request{
+			// Filetime ticks are 100 ns.
+			At:    timeFromTicks(ts - base),
+			Op:    op,
+			LPN:   firstPage,
+			Pages: int(lastPage-firstPage) + 1,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// timeFromTicks converts 100-ns filetime ticks to simulation time.
+func timeFromTicks(ticks int64) sim.Time {
+	return sim.Time(ticks * 100)
+}
+
+// Compact rewrites the request stream's logical addresses into a
+// dense space of at most footprintPages, preserving the access
+// pattern (same blocks map to the same pages) — real traces address
+// terabytes, while experiments size the simulated footprint.
+func Compact(reqs []Request, footprintPages int64) []Request {
+	if footprintPages <= 0 {
+		return reqs
+	}
+	remap := make(map[int64]int64)
+	var next int64
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		// Remap each page run start; keep runs contiguous by mapping
+		// the first page and extending (wrapping within footprint).
+		mapped, ok := remap[r.LPN]
+		if !ok {
+			if next+int64(r.Pages) > footprintPages {
+				next = 0
+			}
+			mapped = next
+			remap[r.LPN] = mapped
+			next += int64(r.Pages)
+		}
+		out[i] = r
+		out[i].LPN = mapped
+		if mapped+int64(r.Pages) > footprintPages {
+			out[i].Pages = int(footprintPages - mapped)
+			if out[i].Pages < 1 {
+				out[i].Pages = 1
+				out[i].LPN = 0
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+// Package trace generates and replays block-level I/O workloads. The
+// built-in specs reproduce Table II of the RiF paper: the eight
+// AliCloud/Systor traces' read ratios and cold-read ratios, the two
+// properties that determine read-retry pressure (cold reads carry
+// month-scale retention ages and thus high RBER).
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Op is a request direction.
+type Op uint8
+
+// Request operations.
+const (
+	Read Op = iota
+	Write
+)
+
+// String names the op in trace files.
+func (o Op) String() string {
+	if o == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Request is one block I/O request in units of 16-KiB logical pages.
+type Request struct {
+	At    sim.Time // arrival (0 in closed-loop use)
+	Op    Op
+	LPN   int64 // first logical page
+	Pages int   // length in pages
+}
+
+// Spec statistically describes one workload (a Table II row plus the
+// shape parameters the paper's text implies).
+type Spec struct {
+	// Name is the paper's trace name.
+	Name string
+	// ReadRatio is the fraction of requests that are reads.
+	ReadRatio float64
+	// ColdReadRatio is the fraction of reads that target pages never
+	// updated during the run (long retention, high retry pressure).
+	ColdReadRatio float64
+	// FootprintPages is the logical space the workload touches.
+	FootprintPages int64
+	// HotFraction is the share of the footprint that is written (and
+	// hot-read); the rest is the cold, read-only region.
+	HotFraction float64
+	// MeanReqPages is the mean read-request length in pages. Reads in
+	// these cloud block traces are larger than writes (scans,
+	// prefetching); writes are sized at WriteSizeRatio of this mean.
+	MeanReqPages float64
+	// WriteSizeRatio scales the mean write size relative to
+	// MeanReqPages.
+	WriteSizeRatio float64
+	// MaxAgeDays bounds the initial retention age of cold data (the
+	// refresh horizon; the paper assumes monthly refresh).
+	MaxAgeDays float64
+	// MinAgeDays is the youngest cold data.
+	MinAgeDays float64
+}
+
+// Validate reports an error for out-of-range parameters.
+func (s Spec) Validate() error {
+	switch {
+	case s.ReadRatio < 0 || s.ReadRatio > 1:
+		return fmt.Errorf("trace %q: read ratio %v", s.Name, s.ReadRatio)
+	case s.ColdReadRatio < 0 || s.ColdReadRatio > 1:
+		return fmt.Errorf("trace %q: cold read ratio %v", s.Name, s.ColdReadRatio)
+	case s.FootprintPages <= 0:
+		return fmt.Errorf("trace %q: footprint %d", s.Name, s.FootprintPages)
+	case s.HotFraction <= 0 || s.HotFraction >= 1:
+		return fmt.Errorf("trace %q: hot fraction %v", s.Name, s.HotFraction)
+	case s.MeanReqPages < 1:
+		return fmt.Errorf("trace %q: mean request pages %v", s.Name, s.MeanReqPages)
+	case s.WriteSizeRatio <= 0 || s.WriteSizeRatio > 1:
+		return fmt.Errorf("trace %q: write size ratio %v", s.Name, s.WriteSizeRatio)
+	case s.MaxAgeDays < s.MinAgeDays || s.MinAgeDays < 0:
+		return fmt.Errorf("trace %q: age range [%v, %v]", s.Name, s.MinAgeDays, s.MaxAgeDays)
+	}
+	return nil
+}
+
+// defaults shared by the Table II specs.
+func tableIISpec(name string, readRatio, coldRatio float64) Spec {
+	return Spec{
+		Name:           name,
+		ReadRatio:      readRatio,
+		ColdReadRatio:  coldRatio,
+		FootprintPages: 1 << 20, // 16 GiB at 16 KiB/page
+		HotFraction:    0.2,
+		MeanReqPages:   5,    // 80-KiB mean read
+		WriteSizeRatio: 0.45, // ~36-KiB mean write
+		MinAgeDays:     1,
+		MaxAgeDays:     30,
+	}
+}
+
+// TableII returns the eight workload specs with the paper's read and
+// cold-read ratios (Table II).
+func TableII() []Spec {
+	return []Spec{
+		tableIISpec("Ali2", 0.27, 0.50),
+		tableIISpec("Ali46", 0.34, 0.75),
+		tableIISpec("Ali81", 0.43, 0.74),
+		tableIISpec("Ali121", 0.92, 0.70),
+		tableIISpec("Ali124", 0.96, 0.79),
+		tableIISpec("Ali295", 0.42, 0.73),
+		tableIISpec("Sys0", 0.70, 0.82),
+		tableIISpec("Sys1", 0.72, 0.83),
+	}
+}
+
+// ByName returns the Table II spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range TableII() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("trace: unknown workload %q", name)
+}
+
+// Names lists the Table II workload names in paper order.
+func Names() []string {
+	specs := TableII()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package rif
+
+import (
+	"repro/internal/nvme"
+	"repro/internal/ssd"
+)
+
+// This file re-exports the NVMe front end: submission/completion
+// rings, doorbells and arbitration over a simulated device.
+
+// NVMeCommand is a submission queue entry.
+type NVMeCommand = nvme.Command
+
+// NVMeCompletion is a completion queue entry.
+type NVMeCompletion = nvme.Completion
+
+// NVMeStatus is an NVMe status code (0 = success).
+type NVMeStatus = nvme.Status
+
+// NVMe opcodes and statuses used by the model.
+const (
+	NVMeRead         = nvme.OpRead
+	NVMeWrite        = nvme.OpWrite
+	NVMeFlush        = nvme.OpFlush
+	NVMeOK           = nvme.StatusSuccess
+	NVMeInvalidOp    = nvme.StatusInvalidOp
+	NVMeInvalidField = nvme.StatusInvalidField
+)
+
+// NVMeController owns queue pairs and arbitration.
+type NVMeController = nvme.Controller
+
+// NVMeBackend adapts a simulated SSD to the NVMe front end.
+type NVMeBackend = ssd.NVMeBackend
+
+// NVMe arbitration policies.
+const (
+	RoundRobin         = nvme.RoundRobin
+	WeightedRoundRobin = nvme.WeightedRoundRobin
+)
+
+// NewNVMeDevice wraps a simulated SSD with an NVMe controller: the
+// caller creates queue pairs, submits commands, rings the doorbell,
+// drains the backend, and reaps completions.
+func NewNVMeDevice(dev *SSD, arb nvme.Arbitration) (*NVMeBackend, *NVMeController) {
+	backend := ssd.NewNVMeBackend(dev)
+	return backend, nvme.NewController(backend, arb)
+}

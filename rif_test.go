@@ -1,0 +1,139 @@
+package rif_test
+
+import (
+	"testing"
+
+	rif "repro"
+)
+
+func fastParams() rif.RunParams {
+	p := rif.DefaultRunParams()
+	p.Requests = 200
+	return p
+}
+
+func TestPublicSchemes(t *testing.T) {
+	schemes := rif.AllSchemes()
+	if len(schemes) != 7 {
+		t.Fatalf("%d schemes", len(schemes))
+	}
+	if rif.RiFSSD.String() != "RiFSSD" || rif.SENC.String() != "SENC" {
+		t.Fatal("scheme names wrong through the public API")
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if len(rif.Workloads()) != 8 || len(rif.WorkloadNames()) != 8 {
+		t.Fatal("Table II incomplete")
+	}
+	spec, err := rif.WorkloadByName("Sys0")
+	if err != nil || spec.ReadRatio != 0.70 {
+		t.Fatalf("Sys0 lookup: %+v %v", spec, err)
+	}
+	if _, err := rif.WorkloadByName("bogus"); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	cfg := rif.DefaultConfig(rif.RiFSSD, 1000)
+	cfg.Geometry.BlocksPerPlane = 128
+	cfg.Geometry.PagesPerBlock = 64
+	spec, _ := rif.WorkloadByName("Ali121")
+	spec.FootprintPages = 1 << 15
+	w, err := rif.NewWorkload(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := rif.New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dev.Run(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RequestsCompleted != 150 || m.Bandwidth() <= 0 {
+		t.Fatalf("bad metrics %v", m)
+	}
+}
+
+func TestPublicRunHelper(t *testing.T) {
+	m, err := rif.Run(fastParams(), rif.SSDOne, "Sys1", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RetryRate() == 0 {
+		t.Fatal("no retries at 2K on Sys1")
+	}
+}
+
+func TestPublicCompareSchemes(t *testing.T) {
+	tbl, err := rif.CompareSchemes(fastParams(),
+		[]rif.Scheme{rif.SENC, rif.RiFSSD}, []string{"Ali124"}, []int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.GeoMeanGain(rif.RiFSSD, rif.SENC, 2000) <= 0 {
+		t.Fatal("RiF not ahead of SENC at 2K")
+	}
+}
+
+func TestPublicCodeStudies(t *testing.T) {
+	p := rif.DefaultCodeParams()
+	p.Circulant = 128
+	p.Samples = 30
+	cap := rif.LDPCCapability(p, []float64{0.003, 0.012})
+	if len(cap) != 2 || cap[0].FailureProb >= cap[1].FailureProb {
+		t.Fatalf("capability curve wrong: %+v", cap)
+	}
+	pts, rhoFull, rhoPruned := rif.SyndromeCorrelation(p, []float64{0.004, 0.012})
+	if len(pts) != 2 || rhoFull <= rhoPruned {
+		t.Fatalf("correlation wrong: %v %d %d", pts, rhoFull, rhoPruned)
+	}
+	acc := rif.RPAccuracy(p, []float64{0.02}, true)
+	if rif.MeanAccuracyAbove(acc, 0.0085) < 0.8 {
+		t.Fatalf("accuracy at high RBER: %+v", acc)
+	}
+}
+
+func TestPublicRetentionStudy(t *testing.T) {
+	cells := rif.RetentionStudy(40, []int{0, 1000})
+	if len(cells) == 0 {
+		t.Fatal("no retention cells")
+	}
+}
+
+func TestPublicTimelines(t *testing.T) {
+	res, err := rif.Timelines()
+	if err != nil || len(res) != 3 {
+		t.Fatalf("timelines: %v %v", res, err)
+	}
+}
+
+func TestPublicOverheadStudy(t *testing.T) {
+	o, err := rif.OverheadStudy(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.AreaMM2 != 0.012 {
+		t.Fatal("area constant wrong")
+	}
+}
+
+func TestPublicUsageAndLatencyStudies(t *testing.T) {
+	p := fastParams()
+	cells, err := rif.ChannelUsageStudy(p, []rif.Scheme{rif.RiFSSD})
+	if err != nil || len(cells) != 6 { // 2 workloads x 3 P/E
+		t.Fatalf("usage: %d cells, %v", len(cells), err)
+	}
+	curves, err := rif.LatencyStudy(p, []rif.Scheme{rif.RiFSSD})
+	if err != nil || len(curves) != 3 {
+		t.Fatalf("latency: %d curves, %v", len(curves), err)
+	}
+	for _, c := range curves {
+		if c.P9999 < c.P99 || c.P99 < c.P50 {
+			t.Fatalf("percentiles inverted: %+v", c)
+		}
+	}
+}
