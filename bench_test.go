@@ -213,6 +213,31 @@ func BenchmarkFig17_AllSchemes(b *testing.B) {
 	b.ReportMetric(100*gain, "%RiF-over-SENC@2K")
 }
 
+// BenchmarkFig17_AllSchemesObserved is BenchmarkFig17_AllSchemes with
+// full observability attached (per-run registries, manifests, live
+// latency histograms). Comparing the two ns/op pins the metrics
+// overhead; the acceptance bar is < 5% regression (tracked in
+// BENCH_obs.json).
+func BenchmarkFig17_AllSchemesObserved(b *testing.B) {
+	p := benchParams(600)
+	p.Tool = "bench"
+	p.Experiment = "fig17"
+	var gain float64
+	var runs int
+	for i := 0; i < b.N; i++ {
+		collect := rif.NewRunCollection()
+		p.Collect = collect
+		tbl, err := rif.CompareSchemes(p, rif.AllSchemes(), []string{"Ali124", "Sys0"}, []int{2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = tbl.GeoMeanGain(rif.RiFSSD, rif.SENC, 2000)
+		runs = collect.Len()
+	}
+	b.ReportMetric(100*gain, "%RiF-over-SENC@2K")
+	b.ReportMetric(float64(runs), "manifests")
+}
+
 // BenchmarkFig18_ChannelUsage regenerates the channel usage breakdown
 // and reports the wasted fraction (UNCOR+ECCWAIT) for SWR vs RiF at
 // 2K P/E (paper: 54.4% vs ~2% on Ali124).

@@ -6,56 +6,144 @@
 // Usage:
 //
 //	rifsim -fig 17 [-requests 3000] [-seed 1] [-full]
-//	rifsim -fig 18
-//	rifsim -fig 19
-//	rifsim -fig 6
-//	rifsim -fig 7        # timelines, includes Fig. 8's RiF case
+//	rifsim -fig 18 -metrics out.json    # per-run manifests (config, clocks, counters)
+//	rifsim -fig 19 -chrome-trace t.json # sim-time spans for Perfetto/chrome://tracing
+//	rifsim -fig 6 -json                 # manifests as JSON on stdout, no text report
+//	rifsim -fig 17 -prom metrics.prom   # Prometheus text exposition
 //	rifsim -fig overhead
+//
+// Run rifsim -fig help (or any unknown figure) to list every
+// experiment and ablation.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 )
 
 func main() {
-	fig := flag.String("fig", "17", "experiment: 6, 7, 17, 18, 19 or overhead")
+	fig := flag.String("fig", "17", "experiment: one of "+strings.Join(validFigs(), ", "))
 	requests := flag.Int("requests", 3000, "host requests per simulation run")
 	seed := flag.Uint64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "simulate the full 2-TiB array instead of a shrunken one")
+	metrics := flag.String("metrics", "", "write per-run manifests (config, seed, clocks, final counters) as JSON to this file")
+	chromeTrace := flag.String("chrome-trace", "", "write sim-time spans as Chrome trace_event JSON to this file")
+	prom := flag.String("prom", "", "write per-run metrics in Prometheus text exposition format to this file")
+	jsonOut := flag.Bool("json", false, "print the per-run manifests as JSON on stdout and suppress the text report")
 	flag.Parse()
 
 	p := core.DefaultRunParams()
 	p.Requests = *requests
 	p.Seed = *seed
 	p.Shrink = !*full
+	p.Tool = "rifsim"
+	p.Experiment = *fig
 
-	if err := run(*fig, p); err != nil {
+	var collect *obs.Collection
+	if *metrics != "" || *prom != "" || *jsonOut {
+		collect = obs.NewCollection()
+		p.Collect = collect
+	}
+	var tracer *obs.Tracer
+	if *chromeTrace != "" {
+		tracer = obs.NewTracer(0)
+		p.Trace = tracer
+	}
+
+	out := io.Writer(os.Stdout)
+	if *jsonOut {
+		out = io.Discard
+	}
+
+	if err := run(out, *fig, p); err != nil {
+		fmt.Fprintln(os.Stderr, "rifsim:", err)
+		os.Exit(1)
+	}
+	if err := writeArtifacts(collect, tracer, *metrics, *chromeTrace, *prom, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "rifsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, p core.RunParams) error {
+// writeArtifacts emits the machine-readable outputs after a
+// successful run.
+func writeArtifacts(collect *obs.Collection, tracer *obs.Tracer, metricsPath, tracePath, promPath string, jsonOut bool) error {
+	if metricsPath != "" {
+		if err := collect.WriteFile(metricsPath); err != nil {
+			return err
+		}
+	}
+	if promPath != "" {
+		f, err := os.Create(promPath)
+		if err != nil {
+			return err
+		}
+		if err := collect.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		return obs.WriteJSON(os.Stdout, collect)
+	}
+	return nil
+}
+
+// validFigs lists every experiment run accepts, in presentation
+// order; unknown -fig values echo it so the valid set is
+// discoverable from the command line.
+func validFigs() []string {
+	return []string{
+		"6", "7", "8", "17", "18", "19", "overhead",
+		"ablate-chunk", "ablate-buffer", "ablate-accuracy",
+		"ablate-scheduling", "ablate-secondcheck",
+		"refresh", "tenants",
+	}
+}
+
+func run(out io.Writer, fig string, p core.RunParams) error {
 	switch fig {
 	case "6":
 		tbl, err := core.Fig6(p)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Fig. 6 — SSDone vs SSDzero I/O bandwidth (MB/s)")
+		fmt.Fprintln(out, "Fig. 6 — SSDone vs SSDzero I/O bandwidth (MB/s)")
 		for _, pe := range core.PaperPECycles {
-			fmt.Printf("%dK P/E:\n", pe/1000)
+			fmt.Fprintf(out, "%dK P/E:\n", pe/1000)
 			for _, w := range []string{"Ali121", "Ali124", "Sys0", "Sys1"} {
 				zero := tbl.Get(ssd.Zero, w, pe)
 				one := tbl.Get(ssd.One, w, pe)
-				fmt.Printf("  %-8s SSDzero=%6.0f  SSDone=%6.0f  (%+.1f%%)\n",
+				if zero <= 0 {
+					fmt.Fprintf(out, "  %-8s SSDzero=%6.0f  SSDone=%6.0f  (n/a)\n", w, zero, one)
+					continue
+				}
+				fmt.Fprintf(out, "  %-8s SSDzero=%6.0f  SSDone=%6.0f  (%+.1f%%)\n",
 					w, zero, one, 100*(one/zero-1))
 			}
 		}
@@ -66,14 +154,14 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Figs. 7/8 — 256-KiB read execution timelines")
-		fmt.Print(core.FormatTimelines(results))
+		fmt.Fprintln(out, "Figs. 7/8 — 256-KiB read execution timelines")
+		fmt.Fprint(out, core.FormatTimelines(results))
 		for _, scheme := range []ssd.Scheme{ssd.Zero, ssd.One, ssd.RiF} {
 			gantt, err := core.TimelineGantt(scheme)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("\n%v (1 column = 5us; lowercase = retry):\n%s", scheme, gantt)
+			fmt.Fprintf(out, "\n%v (1 column = 5us; lowercase = retry):\n%s", scheme, gantt)
 		}
 		return nil
 
@@ -82,10 +170,10 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Fig. 17 — I/O bandwidth normalized to SENC")
-		fmt.Print(tbl.Format(ssd.Sentinel, ssd.AllSchemes(), trace.Names()))
+		fmt.Fprintln(out, "Fig. 17 — I/O bandwidth normalized to SENC")
+		fmt.Fprint(out, tbl.Format(ssd.Sentinel, ssd.AllSchemes(), trace.Names()))
 		for _, pe := range core.PaperPECycles {
-			fmt.Printf("RiF over SENC at %dK P/E: %+.1f%% (paper: +23.8/+47.4/+72.1%%)\n",
+			fmt.Fprintf(out, "RiF over SENC at %dK P/E: %+.1f%% (paper: +23.8/+47.4/+72.1%%)\n",
 				pe/1000, 100*tbl.GeoMeanGain(ssd.RiF, ssd.Sentinel, pe))
 		}
 		var bars []plot.Bar
@@ -95,8 +183,8 @@ func run(fig string, p core.RunParams) error {
 				Value: 1 + tbl.GeoMeanGain(s, ssd.Sentinel, 2000),
 			})
 		}
-		fmt.Println()
-		fmt.Print(plot.HBar("geomean bandwidth vs SENC at 2K P/E", bars, 50))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, plot.HBar("geomean bandwidth vs SENC at 2K P/E", bars, 50))
 		return nil
 
 	case "18":
@@ -104,8 +192,8 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Fig. 18 — channel usage breakdown")
-		fmt.Print(core.FormatUsage(cells))
+		fmt.Fprintln(out, "Fig. 18 — channel usage breakdown")
+		fmt.Fprint(out, core.FormatUsage(cells))
 		return nil
 
 	case "19":
@@ -113,8 +201,8 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Fig. 19 — Ali124 read-latency percentiles")
-		fmt.Print(core.FormatLatency(curves))
+		fmt.Fprintln(out, "Fig. 19 — Ali124 read-latency percentiles")
+		fmt.Fprint(out, core.FormatLatency(curves))
 		for _, pe := range core.PaperPECycles {
 			var series []plot.Series
 			for _, c := range curves {
@@ -127,8 +215,8 @@ func run(fig string, p core.RunParams) error {
 				}
 				series = append(series, s)
 			}
-			fmt.Println()
-			fmt.Print(plot.Chart(
+			fmt.Fprintln(out)
+			fmt.Fprint(out, plot.Chart(
 				fmt.Sprintf("CDF of read latency (ms), %dK P/E cycles", pe/1000),
 				series, 64, 14))
 		}
@@ -139,8 +227,8 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("§VI-C — RP module overhead")
-		fmt.Print(o.Format())
+		fmt.Fprintln(out, "§VI-C — RP module overhead")
+		fmt.Fprint(out, o.Format())
 		return nil
 
 	case "ablate-chunk":
@@ -148,8 +236,8 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Ablation — RP chunk size (paper picks 4 KiB, §V-A1)")
-		fmt.Print(core.FormatChunkAblation(pts))
+		fmt.Fprintln(out, "Ablation — RP chunk size (paper picks 4 KiB, §V-A1)")
+		fmt.Fprint(out, core.FormatChunkAblation(pts))
 		return nil
 
 	case "ablate-buffer":
@@ -157,8 +245,8 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Ablation — channel ECC buffer depth (SSDone at 2K P/E)")
-		fmt.Print(core.FormatBufferAblation(pts))
+		fmt.Fprintln(out, "Ablation — channel ECC buffer depth (SSDone at 2K P/E)")
+		fmt.Fprint(out, core.FormatBufferAblation(pts))
 		return nil
 
 	case "ablate-accuracy":
@@ -166,8 +254,8 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Ablation — RP accuracy floor (RiF at 2K P/E)")
-		fmt.Print(core.FormatAccuracyAblation(pts))
+		fmt.Fprintln(out, "Ablation — RP accuracy floor (RiF at 2K P/E)")
+		fmt.Fprint(out, core.FormatAccuracyAblation(pts))
 		return nil
 
 	case "ablate-scheduling":
@@ -175,8 +263,8 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Ablation — die scheduling policy (Sys0 at 2K P/E)")
-		fmt.Print(core.FormatScheduling(pts))
+		fmt.Fprintln(out, "Ablation — die scheduling policy (Sys0 at 2K P/E)")
+		fmt.Fprint(out, core.FormatScheduling(pts))
 		return nil
 
 	case "refresh":
@@ -184,8 +272,8 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Study — refresh horizon vs read performance (SSDone at 1K P/E)")
-		fmt.Print(core.FormatRefresh(pts))
+		fmt.Fprintln(out, "Study — refresh horizon vs read performance (SSDone at 1K P/E)")
+		fmt.Fprint(out, core.FormatRefresh(pts))
 		return nil
 
 	case "tenants":
@@ -194,8 +282,8 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Study — multi-queue tenant isolation at 2K P/E")
-		fmt.Print(core.FormatMultiTenant(results))
+		fmt.Fprintln(out, "Study — multi-queue tenant isolation at 2K P/E")
+		fmt.Fprint(out, core.FormatMultiTenant(results))
 		return nil
 
 	case "ablate-secondcheck":
@@ -203,14 +291,15 @@ func run(fig string, p core.RunParams) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Ablation — footnote-4 second RP pass (RiF at 3K P/E)")
+		fmt.Fprintln(out, "Ablation — footnote-4 second RP pass (RiF at 3K P/E)")
 		_, _, u0, _ := res.Without.Channels.Fractions()
 		_, _, u1, _ := res.With.Channels.Fractions()
-		fmt.Printf("without: %7.0f MB/s, uncor %.2f%%, avoided %d\n",
+		fmt.Fprintf(out, "without: %7.0f MB/s, uncor %.2f%%, avoided %d\n",
 			res.Without.Bandwidth(), 100*u0, res.Without.AvoidedTransfers)
-		fmt.Printf("with:    %7.0f MB/s, uncor %.2f%%, avoided %d\n",
+		fmt.Fprintf(out, "with:    %7.0f MB/s, uncor %.2f%%, avoided %d\n",
 			res.With.Bandwidth(), 100*u1, res.With.AvoidedTransfers)
 		return nil
 	}
-	return fmt.Errorf("unknown experiment %q", fig)
+	return fmt.Errorf("unknown experiment %q; valid figures/ablations: %s",
+		fig, strings.Join(validFigs(), ", "))
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestUnknownFigListsValidExperiments pins the CLI contract: a typo'd
+// -fig value must name every valid figure and ablation in the error.
+func TestUnknownFigListsValidExperiments(t *testing.T) {
+	err := run(io.Discard, "bogus", core.DefaultRunParams())
+	if err == nil {
+		t.Fatal("unknown figure did not error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Errorf("error does not echo the bad value: %q", msg)
+	}
+	for _, fig := range validFigs() {
+		if !strings.Contains(msg, fig) {
+			t.Errorf("error does not list valid figure %q: %q", fig, msg)
+		}
+	}
+}
+
+// TestValidFigsAreAccepted ensures the advertised list and the switch
+// stay in sync: every advertised figure must be dispatchable (we use
+// a zero-request params so runs fail fast with a non-"unknown" error
+// rather than simulating).
+func TestValidFigsAreAccepted(t *testing.T) {
+	p := core.RunParams{} // invalid sizing: experiments fail fast
+	for _, fig := range validFigs() {
+		err := run(io.Discard, fig, p)
+		if err != nil && strings.Contains(err.Error(), "unknown experiment") {
+			t.Errorf("advertised figure %q rejected as unknown", fig)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 // Fleetcompare: sweep every read-retry scheme across workloads and
 // wear states and print a Fig. 17-style normalized bandwidth table —
 // the experiment a storage architect would run to decide whether
-// RiF-enabled flash is worth the die change.
+// RiF-enabled flash is worth the die change. Every simulated cell is
+// also recorded as a run manifest and written to
+// fleetcompare_runs.json for downstream tooling.
 package main
 
 import (
@@ -14,6 +16,10 @@ import (
 func main() {
 	p := rif.DefaultRunParams()
 	p.Requests = 1500 // keep the demo quick; raise for tighter numbers
+	p.Tool = "fleetcompare"
+	p.Experiment = "fig17-slice"
+	collect := rif.NewRunCollection()
+	p.Collect = collect
 
 	// A representative slice of Table II: the two most read-intensive
 	// cloud traces plus one mixed and one write-heavy trace.
@@ -34,8 +40,14 @@ func main() {
 		for _, s := range rif.AllSchemes() {
 			fmt.Printf("%-8s", s)
 			for _, w := range workloads {
-				base := tbl.Get(rif.SENC, w, pe)
-				fmt.Printf("%9.2f", tbl.Get(s, w, pe)/base)
+				r, err := tbl.Ratio(s, rif.SENC, w, pe)
+				if err != nil {
+					// Missing SENC baseline: flag the cell instead of
+					// printing +Inf/NaN.
+					fmt.Printf("%9s", "n/a")
+					continue
+				}
+				fmt.Printf("%9.2f", r)
 			}
 			fmt.Println()
 		}
@@ -43,4 +55,9 @@ func main() {
 			100*tbl.GeoMeanGain(rif.RiFSSD, rif.SENC, pe))
 	}
 	fmt.Println("paper (all 8 workloads): +23.8% @0K, +47.4% @1K, +72.1% @2K")
+
+	if err := collect.WriteFile("fleetcompare_runs.json"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d run manifests to fleetcompare_runs.json\n", collect.Len())
 }

@@ -7,7 +7,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 )
@@ -25,6 +27,23 @@ type RunParams struct {
 	// fast; the channel/die topology (what the experiments measure)
 	// is unchanged. Zero means the full Table I array.
 	Shrink bool
+
+	// Obs, when non-nil, is attached to every simulation these params
+	// run (instruments are concurrency-safe, so grid cells may share
+	// it). Ignored when Collect is set: each collected run then gets
+	// its own private registry so manifests stay per-run.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives sim-time spans from every run.
+	// Sharing one tracer across a parallel grid interleaves runs;
+	// meaningful mostly for single-simulation experiments.
+	Trace *obs.Tracer
+	// Collect, when non-nil, receives one Manifest per completed
+	// simulation (safe for the parallel grids).
+	Collect *obs.Collection
+	// Tool and Experiment label collected manifests ("rifsim",
+	// "fig17", ...).
+	Tool       string
+	Experiment string
 }
 
 // DefaultRunParams returns the sizing used by the cmd tools.
@@ -56,7 +75,8 @@ func (p RunParams) workload(name string) (*trace.Generator, error) {
 }
 
 // RunOne simulates a single (scheme, workload, P/E) cell and returns
-// its metrics.
+// its metrics. When p.Collect is set, the run is also recorded as a
+// manifest carrying its full configuration and registry snapshot.
 func RunOne(p RunParams, scheme ssd.Scheme, workloadName string, pe int) (*ssd.Metrics, error) {
 	if p.Requests <= 0 {
 		return nil, fmt.Errorf("core: requests = %d", p.Requests)
@@ -65,9 +85,38 @@ func RunOne(p RunParams, scheme ssd.Scheme, workloadName string, pe int) (*ssd.M
 	if err != nil {
 		return nil, err
 	}
-	s, err := ssd.New(p.buildConfig(scheme, pe), w)
+	cfg := p.buildConfig(scheme, pe)
+	cfg.Obs = p.Obs
+	cfg.Trace = p.Trace
+	var reg *obs.Registry
+	if p.Collect != nil {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
+	s, err := ssd.New(cfg, w)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(p.Requests)
+	start := time.Now()
+	m, err := s.Run(p.Requests)
+	if err != nil {
+		return nil, err
+	}
+	if p.Collect != nil {
+		p.Collect.Add(obs.Manifest{
+			Tool:       p.Tool,
+			Experiment: p.Experiment,
+			Scheme:     scheme.String(),
+			Workload:   workloadName,
+			PECycles:   pe,
+			Seed:       p.Seed,
+			Requests:   p.Requests,
+			Config:     cfg,
+			SimTimeNS:  int64(m.Makespan),
+			WallTimeS:  time.Since(start).Seconds(),
+			BandwidthM: m.Bandwidth(),
+			Metrics:    reg.Snapshot(),
+		})
+	}
+	return m, nil
 }

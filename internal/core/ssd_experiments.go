@@ -37,6 +37,17 @@ func (t *BandwidthTable) Get(s ssd.Scheme, workload string, pe int) float64 {
 	return 0
 }
 
+// Ratio reports scheme s's bandwidth relative to base under the same
+// (workload, P/E). A missing or zero baseline cell is reported as an
+// error rather than silently producing +Inf or NaN.
+func (t *BandwidthTable) Ratio(s, base ssd.Scheme, workload string, pe int) (float64, error) {
+	ref := t.Get(base, workload, pe)
+	if ref <= 0 {
+		return 0, fmt.Errorf("core: no %v baseline bandwidth for workload %q at %d P/E cycles", base, workload, pe)
+	}
+	return t.Get(s, workload, pe) / ref, nil
+}
+
 // NormalizedTo reports every cell's bandwidth relative to the given
 // baseline scheme under the same (workload, P/E), as Fig. 17 is
 // normalized to SENC.
@@ -60,7 +71,12 @@ func (t *BandwidthTable) NormalizedTo(base ssd.Scheme) map[ssd.Scheme]map[int][]
 // "+72.1% over SENC at 2K").
 func (t *BandwidthTable) GeoMeanGain(s, base ssd.Scheme, pe int) float64 {
 	norm := t.NormalizedTo(base)
-	ratios := norm[s][pe]
+	var ratios []float64
+	for _, r := range norm[s][pe] {
+		if r > 0 { // a zero-bandwidth cell would poison the geomean
+			ratios = append(ratios, r)
+		}
+	}
 	if len(ratios) == 0 {
 		return 0
 	}
@@ -91,16 +107,21 @@ func (t *BandwidthTable) Format(base ssd.Scheme, schemes []ssd.Scheme, workloads
 			fmt.Fprintf(&b, "%-8s", s)
 			var ratios []float64
 			for _, w := range workloads {
-				ref := t.Get(base, w, pe)
-				v := t.Get(s, w, pe)
-				r := 0.0
-				if ref > 0 {
-					r = v / ref
+				r, err := t.Ratio(s, base, w, pe)
+				if err != nil || r <= 0 {
+					// Missing baseline or empty cell: mark it rather
+					// than feeding 0/Inf into the geomean.
+					fmt.Fprintf(&b, "%9s", "n/a")
+					continue
 				}
 				ratios = append(ratios, r)
 				fmt.Fprintf(&b, "%9.2f", r)
 			}
-			fmt.Fprintf(&b, "%9.2f\n", stats.GeoMean(ratios))
+			if len(ratios) == len(workloads) {
+				fmt.Fprintf(&b, "%9.2f\n", stats.GeoMean(ratios))
+			} else {
+				fmt.Fprintf(&b, "%9s\n", "n/a")
+			}
 		}
 	}
 	return b.String()

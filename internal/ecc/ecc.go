@@ -9,6 +9,7 @@ package ecc
 import (
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -22,6 +23,9 @@ type Engine struct {
 	// IterationTime is the latency of one decoding iteration, chosen
 	// so tECC spans [MinLatency, MaxIterations*IterationTime].
 	IterationTime sim.Time
+	// Hist, when non-nil, receives every decode attempt's latency in
+	// microseconds (the tECC distribution of the run).
+	Hist *obs.Histogram
 }
 
 // NewEngine returns the Table I engine: capability 0.0085, 20
@@ -65,11 +69,13 @@ type Outcome struct {
 // Decode evaluates a decode attempt for a page with the given RBER.
 func (e *Engine) Decode(rber float64) Outcome {
 	it := e.Iterations(rber)
-	return Outcome{
+	out := Outcome{
 		OK:         rber <= e.Capability,
 		Latency:    sim.Time(it) * e.IterationTime,
 		Iterations: it,
 	}
+	e.Hist.Observe(out.Latency.Microseconds())
+	return out
 }
 
 // MinLatency is the fastest possible decode (one iteration).

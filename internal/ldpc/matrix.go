@@ -3,6 +3,7 @@ package ldpc
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 )
 
 // ZeroBlock marks an all-zero circulant block in the shift table.
@@ -23,6 +24,9 @@ type Code struct {
 
 	// checkVars[m] lists the variable (codeword bit) indices
 	// participating in parity check m; built lazily by adjacency().
+	// Guarded by adjOnce so decoders on different goroutines can
+	// share one Code.
+	adjOnce   sync.Once
 	checkVars [][]int32
 	varChecks [][]int32
 }
@@ -141,33 +145,32 @@ func (cd *Code) FirstRowSyndromeWeight(cw Bits) int {
 
 // adjacency builds (and caches) the sparse Tanner-graph adjacency.
 func (cd *Code) adjacency() ([][]int32, [][]int32) {
-	if cd.checkVars != nil {
-		return cd.checkVars, cd.varChecks
-	}
-	m := cd.M()
-	n := cd.N()
-	checkVars := make([][]int32, m)
-	varChecks := make([][]int32, n)
-	for bi := 0; bi < cd.R; bi++ {
-		for bj := 0; bj < cd.C; bj++ {
-			sh := cd.Shifts[bi][bj]
-			if sh == ZeroBlock {
-				continue
-			}
-			// Circulant Q(sh): row k of the block has a 1 in column
-			// (k+sh) mod T. Check (bi*T + k) touches variable
-			// bj*T + (k+sh)%T.
-			for k := 0; k < cd.T; k++ {
-				check := int32(bi*cd.T + k)
-				v := int32(bj*cd.T + (k+sh)%cd.T)
-				checkVars[check] = append(checkVars[check], v)
-				varChecks[v] = append(varChecks[v], check)
+	cd.adjOnce.Do(func() {
+		m := cd.M()
+		n := cd.N()
+		checkVars := make([][]int32, m)
+		varChecks := make([][]int32, n)
+		for bi := 0; bi < cd.R; bi++ {
+			for bj := 0; bj < cd.C; bj++ {
+				sh := cd.Shifts[bi][bj]
+				if sh == ZeroBlock {
+					continue
+				}
+				// Circulant Q(sh): row k of the block has a 1 in column
+				// (k+sh) mod T. Check (bi*T + k) touches variable
+				// bj*T + (k+sh)%T.
+				for k := 0; k < cd.T; k++ {
+					check := int32(bi*cd.T + k)
+					v := int32(bj*cd.T + (k+sh)%cd.T)
+					checkVars[check] = append(checkVars[check], v)
+					varChecks[v] = append(varChecks[v], check)
+				}
 			}
 		}
-	}
-	cd.checkVars = checkVars
-	cd.varChecks = varChecks
-	return checkVars, varChecks
+		cd.checkVars = checkVars
+		cd.varChecks = varChecks
+	})
+	return cd.checkVars, cd.varChecks
 }
 
 // CheckDegree reports the number of variables in parity check m.

@@ -1,6 +1,10 @@
 package nvme
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Backend executes NVM commands against storage. The ssd simulator
 // (via an adapter) or any in-memory fake can serve as one. Execute
@@ -27,6 +31,9 @@ type queuePair struct {
 	// inFlight tracks CIDs submitted to the backend and not yet
 	// completed, to detect CID reuse.
 	inFlight map[uint16]bool
+	// Depth high-water gauges (nil when observability is off).
+	sqHigh *obs.Gauge
+	cqHigh *obs.Gauge
 }
 
 // Controller owns the queue pairs and the arbitration state. It is
@@ -39,6 +46,10 @@ type Controller struct {
 	// Burst is the arbitration burst: how many commands one queue may
 	// submit per arbitration turn.
 	Burst int
+	// Obs, when non-nil, receives per-queue SQ/CQ depth high-water
+	// gauges (nvme_sq<i>_depth_highwater, nvme_cq<i>_depth_highwater).
+	// Set it before creating queue pairs.
+	Obs *obs.Registry
 }
 
 // NewController builds a controller over a backend.
@@ -52,13 +63,16 @@ func (c *Controller) CreateQueuePair(depth, weight int) uint16 {
 	if weight < 1 {
 		weight = 1
 	}
+	sqid := len(c.pairs)
 	c.pairs = append(c.pairs, &queuePair{
 		sq:       NewQueue[Command](depth),
 		cq:       NewQueue[Completion](depth),
 		weight:   weight,
 		inFlight: make(map[uint16]bool),
+		sqHigh:   c.Obs.Gauge(fmt.Sprintf("nvme_sq%d_depth_highwater", sqid)),
+		cqHigh:   c.Obs.Gauge(fmt.Sprintf("nvme_cq%d_depth_highwater", sqid)),
 	})
-	return uint16(len(c.pairs) - 1)
+	return uint16(sqid)
 }
 
 // pair validates an SQID.
@@ -82,6 +96,7 @@ func (c *Controller) Submit(sqid uint16, cmd Command) error {
 	if !p.sq.Push(cmd) {
 		return fmt.Errorf("nvme: sqid %d full", sqid)
 	}
+	p.sqHigh.SetMax(int64(p.sq.Len()))
 	return nil
 }
 
@@ -136,6 +151,7 @@ func (c *Controller) dispatch(sqid uint16, cmd Command) {
 // complete posts a CQE.
 func (p *queuePair) complete(sqid uint16, cid uint16, st Status) {
 	p.cq.Push(Completion{CID: cid, SQID: sqid, Status: st, SQHead: p.sq.Head()})
+	p.cqHigh.SetMax(int64(p.cq.Len()))
 }
 
 // Reap drains up to max completions from a CQ (the host consuming

@@ -1,0 +1,57 @@
+package nvme
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestQueueDepthGauges checks the SQ/CQ high-water gauges track ring
+// occupancy when a registry is attached, and that a controller with
+// no registry works unchanged.
+func TestQueueDepthGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	// A backend that completes only when released, so commands pile up.
+	var pending []func(Status)
+	be := backendFunc(func(sqid uint16, cmd Command, done func(Status)) {
+		pending = append(pending, done)
+	})
+	c := NewController(be, RoundRobin)
+	c.Obs = reg
+	sqid := c.CreateQueuePair(8, 1)
+
+	for i := 0; i < 3; i++ {
+		if err := c.Submit(sqid, Command{Opcode: OpRead, CID: uint16(i), NLB: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := reg.Snapshot()
+	if got := s.Gauges["nvme_sq0_depth_highwater"]; got != 3 {
+		t.Fatalf("SQ high-water = %d, want 3", got)
+	}
+
+	c.Doorbell()
+	for _, done := range pending {
+		done(StatusSuccess)
+	}
+	s = reg.Snapshot()
+	if got := s.Gauges["nvme_cq0_depth_highwater"]; got != 3 {
+		t.Fatalf("CQ high-water = %d, want 3", got)
+	}
+	if _, err := c.Reap(sqid, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nil registry: same flow, no instruments, no panics.
+	c2 := NewController(be, RoundRobin)
+	sq2 := c2.CreateQueuePair(4, 1)
+	if err := c2.Submit(sq2, Command{Opcode: OpRead, CID: 1, NLB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c2.Doorbell()
+}
+
+// backendFunc adapts a function to the Backend interface.
+type backendFunc func(sqid uint16, cmd Command, done func(Status))
+
+func (f backendFunc) Execute(sqid uint16, cmd Command, done func(Status)) { f(sqid, cmd, done) }

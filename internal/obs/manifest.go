@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Manifest is the machine-readable record of one simulation run: what
+// was configured, how long it took (in both clocks), and every final
+// instrument value. Serialized to JSON it is the run artifact other
+// tooling (perf trackers, dashboards, regression tests) consumes.
+type Manifest struct {
+	// Tool names the producing binary or harness ("rifsim",
+	// "fleetcompare", "bench").
+	Tool string `json:"tool,omitempty"`
+	// Experiment names the figure or study the run belongs to.
+	Experiment string `json:"experiment,omitempty"`
+
+	// Run identity.
+	Scheme   string `json:"scheme,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	PECycles int    `json:"pe_cycles"`
+	Seed     uint64 `json:"seed"`
+	Requests int    `json:"requests,omitempty"`
+
+	// Config carries the full simulator configuration when the caller
+	// provides one (any JSON-serializable value).
+	Config any `json:"config,omitempty"`
+
+	// Clocks: the virtual makespan and the host wall time.
+	SimTimeNS  int64   `json:"sim_time_ns"`
+	WallTimeS  float64 `json:"wall_time_s"`
+	BandwidthM float64 `json:"bandwidth_mbps,omitempty"`
+
+	// Metrics is the final registry snapshot.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// SetSimTime records the virtual makespan.
+func (m *Manifest) SetSimTime(t sim.Time) { m.SimTimeNS = int64(t) }
+
+// WriteJSON serializes any artifact (a Manifest, a Collection, a
+// result table) as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("obs: json encode: %w", err)
+	}
+	return nil
+}
+
+// WriteJSONFile serializes an artifact to a file.
+func WriteJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := WriteJSON(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Collection gathers the manifests of a multi-run experiment (a
+// scheme x workload x wear grid). Add is safe for concurrent use —
+// the grids run cells in parallel.
+type Collection struct {
+	mu   sync.Mutex
+	runs []Manifest
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection { return &Collection{} }
+
+// Add appends one run's manifest. Nil-safe.
+func (c *Collection) Add(m Manifest) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.runs = append(c.runs, m)
+	c.mu.Unlock()
+}
+
+// Runs returns the collected manifests sorted by (experiment, scheme,
+// workload, P/E) so output is deterministic regardless of completion
+// order.
+func (c *Collection) Runs() []Manifest {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := append([]Manifest(nil), c.runs...)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.PECycles < b.PECycles
+	})
+	return out
+}
+
+// Len reports the number of collected runs.
+func (c *Collection) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.runs)
+}
+
+// MarshalJSON serializes the collection as {"runs": [...]}.
+func (c *Collection) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Runs []Manifest `json:"runs"`
+	}{Runs: c.Runs()})
+}
+
+// UnmarshalJSON restores a collection written by MarshalJSON.
+func (c *Collection) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Runs []Manifest `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.runs = raw.Runs
+	c.mu.Unlock()
+	return nil
+}
+
+// WriteFile serializes the collection to a JSON file.
+func (c *Collection) WriteFile(path string) error {
+	return WriteJSONFile(path, c)
+}
+
+// runLabels identifies one run in a multi-run exposition.
+func runLabels(m Manifest) map[string]string {
+	l := map[string]string{}
+	if m.Scheme != "" {
+		l["scheme"] = m.Scheme
+	}
+	if m.Workload != "" {
+		l["workload"] = m.Workload
+	}
+	if m.Experiment != "" {
+		l["experiment"] = m.Experiment
+	}
+	l["pe"] = fmt.Sprintf("%d", m.PECycles)
+	return l
+}
+
+// WritePrometheus renders every collected run in the Prometheus text
+// exposition format, one labelled sample set per run. Each metric
+// name's # TYPE line is emitted once (the format forbids duplicates),
+// then every run contributes its samples with scheme/workload/pe
+// labels.
+func (c *Collection) WritePrometheus(w io.Writer) error {
+	runs := c.Runs()
+	counterNames := map[string]bool{}
+	gaugeNames := map[string]bool{}
+	histNames := map[string]bool{}
+	for _, m := range runs {
+		for k := range m.Metrics.Counters {
+			counterNames[k] = true
+		}
+		for k := range m.Metrics.Gauges {
+			gaugeNames[k] = true
+		}
+		for k := range m.Metrics.Histograms {
+			histNames[k] = true
+		}
+	}
+	for _, name := range sortedKeys(counterNames) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", n); err != nil {
+			return err
+		}
+		for _, m := range runs {
+			v, ok := m.Metrics.Counters[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", n, promLabels(runLabels(m)), v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(gaugeNames) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", n); err != nil {
+			return err
+		}
+		for _, m := range runs {
+			v, ok := m.Metrics.Gauges[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", n, promLabels(runLabels(m)), v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(histNames) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		for _, m := range runs {
+			h, ok := m.Metrics.Histograms[name]
+			if !ok {
+				continue
+			}
+			lbl := runLabels(m)
+			cum := int64(0)
+			for _, b := range h.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", n, histLabels(lbl, b.UpperBound), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", n, promLabels(lbl), h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_mean%s %g\n", n, promLabels(lbl), h.Mean); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+var promInvalid = regexp.MustCompile(`[^a-zA-Z0-9_:]`)
+
+// promName sanitizes a metric name for the Prometheus exposition
+// format (letters, digits, underscores and colons only).
+func promName(name string) string {
+	s := promInvalid.ReplaceAllString(name, "_")
+	if s == "" || (s[0] >= '0' && s[0] <= '9') {
+		s = "_" + s
+	}
+	return s
+}
+
+// promLabels renders a label set as {k="v",...} (empty for none).
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := sortedKeys(labels)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", promName(k), labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as the conventional _bucket/_sum-less
+// cumulative form with _count, _min, _max and _mean companions.
+func (s Snapshot) WritePrometheus(w io.Writer, labels map[string]string) error {
+	lbl := promLabels(labels)
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", n, n, lbl, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", n, n, lbl, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := b.UpperBound
+			bl := histLabels(labels, le)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", n, bl, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", n, lbl, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_mean%s %g\n", n, lbl, h.Mean); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histLabels merges the shared label set with a le bucket label.
+func histLabels(labels map[string]string, le string) string {
+	merged := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		merged[k] = v
+	}
+	merged["le"] = le
+	return promLabels(merged)
+}
+
+// Format renders the snapshot as a sorted human-readable summary for
+// terminal output.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(&b, "counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-44s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(&b, "gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-44s %d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(&b, "histograms:\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "  %-44s n=%d mean=%.4g min=%.4g max=%.4g\n",
+				name, h.Count, h.Mean, h.Min, h.Max)
+		}
+	}
+	return b.String()
+}

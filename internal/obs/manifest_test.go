@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleManifest(scheme string, pe int) Manifest {
+	r := NewRegistry()
+	r.Counter("ssd_page_reads_total").Add(1234)
+	r.Gauge("ssd_die_queue_depth_highwater").SetMax(17)
+	h := r.Histogram("ssd_read_latency_us")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	return Manifest{
+		Tool:       "rifsim",
+		Experiment: "fig17",
+		Scheme:     scheme,
+		Workload:   "Ali124",
+		PECycles:   pe,
+		Seed:       1,
+		Requests:   3000,
+		SimTimeNS:  987654321,
+		WallTimeS:  0.25,
+		BandwidthM: 812.5,
+		Metrics:    r.Snapshot(),
+	}
+}
+
+// TestManifestRoundTrip serializes a collection and restores it,
+// asserting run identity and every instrument survive the trip.
+func TestManifestRoundTrip(t *testing.T) {
+	c := NewCollection()
+	c.Add(sampleManifest("RiFSSD", 2000))
+	c.Add(sampleManifest("SENC", 0))
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.json")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Collection
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("restored %d runs, want 2", back.Len())
+	}
+	runs := back.Runs()
+	// Runs() sorts by scheme: RiFSSD before SENC.
+	m := runs[0]
+	if m.Scheme != "RiFSSD" || m.Workload != "Ali124" || m.PECycles != 2000 {
+		t.Fatalf("run identity lost: %+v", m)
+	}
+	if m.Tool != "rifsim" || m.Experiment != "fig17" || m.Seed != 1 || m.Requests != 3000 {
+		t.Fatalf("run provenance lost: %+v", m)
+	}
+	if m.SimTimeNS != 987654321 || m.WallTimeS != 0.25 || m.BandwidthM != 812.5 {
+		t.Fatalf("run clocks lost: %+v", m)
+	}
+	if got := m.Metrics.Counters["ssd_page_reads_total"]; got != 1234 {
+		t.Fatalf("counter lost: %d", got)
+	}
+	if got := m.Metrics.Gauges["ssd_die_queue_depth_highwater"]; got != 17 {
+		t.Fatalf("gauge lost: %d", got)
+	}
+	h := m.Metrics.Histograms["ssd_read_latency_us"]
+	if h.Count != 100 || h.Min != 1 || h.Max != 100 {
+		t.Fatalf("histogram summary lost: %+v", h)
+	}
+	var n int64
+	for _, b := range h.Buckets {
+		n += b.Count
+	}
+	if n != 100 {
+		t.Fatalf("histogram buckets lost %d of 100 observations", 100-n)
+	}
+}
+
+// TestSnapshotPrometheus checks the single-snapshot exposition: TYPE
+// lines, label rendering and cumulative histogram buckets.
+func TestSnapshotPrometheus(t *testing.T) {
+	m := sampleManifest("RiFSSD", 2000)
+	var buf bytes.Buffer
+	if err := m.Metrics.WritePrometheus(&buf, map[string]string{"scheme": "RiFSSD"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ssd_page_reads_total counter",
+		`ssd_page_reads_total{scheme="RiFSSD"} 1234`,
+		"# TYPE ssd_die_queue_depth_highwater gauge",
+		"# TYPE ssd_read_latency_us histogram",
+		`ssd_read_latency_us_count{scheme="RiFSSD"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the last bucket line carries the
+	// full count.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "ssd_read_latency_us_bucket") {
+			last = l
+		}
+	}
+	if !strings.HasSuffix(last, " 100") {
+		t.Fatalf("last histogram bucket not cumulative: %q", last)
+	}
+}
+
+// TestCollectionPrometheus checks the multi-run exposition: one TYPE
+// line per metric, one labelled sample per run.
+func TestCollectionPrometheus(t *testing.T) {
+	c := NewCollection()
+	c.Add(sampleManifest("RiFSSD", 2000))
+	c.Add(sampleManifest("SENC", 0))
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "# TYPE ssd_page_reads_total counter"); got != 1 {
+		t.Fatalf("TYPE line emitted %d times, want exactly 1", got)
+	}
+	for _, want := range []string{`scheme="RiFSSD"`, `scheme="SENC"`, `pe="2000"`, `pe="0"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing label %s", want)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"ok_name":    "ok_name",
+		"with-dash":  "with_dash",
+		"with.dot":   "with_dot",
+		"9starts":    "_9starts",
+		"ns:counter": "ns:counter",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	m := sampleManifest("RiFSSD", 2000)
+	out := m.Metrics.Format()
+	for _, want := range []string{"counters:", "gauges:", "histograms:", "ssd_page_reads_total", "n=100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("terminal summary missing %q in:\n%s", want, out)
+		}
+	}
+}

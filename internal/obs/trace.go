@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Span is one recorded occupancy on a simulated resource: a die
+// sense, a channel transfer, an ECC decode. Times are sim-time
+// nanoseconds. It generalizes the Fig. 7/8 Gantt span recording to
+// every run.
+type Span struct {
+	Resource string   `json:"resource"` // "die0", "ch3", "ecc-ch3"
+	Label    string   `json:"label"`    // command tag: "A", "B'", "W"
+	Start    sim.Time `json:"start_ns"`
+	End      sim.Time `json:"end_ns"`
+}
+
+// Tracer records spans into a bounded ring buffer. When the buffer
+// fills, the oldest spans are overwritten and Dropped counts them, so
+// long runs trace the tail of execution at a fixed memory cost. A nil
+// Tracer discards spans.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	full    bool
+	dropped int64
+}
+
+// DefaultTracerSpans is the default ring capacity: enough for a few
+// thousand requests' worth of die/channel/ECC occupancies.
+const DefaultTracerSpans = 1 << 16
+
+// NewTracer returns a tracer with the given ring capacity (values < 1
+// select DefaultTracerSpans).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = DefaultTracerSpans
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Span records one occupancy. Zero-length spans are kept: an
+// instantaneous event still marks the timeline.
+func (t *Tracer) Span(resource, label string, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.full {
+		t.dropped++
+	}
+	t.ring[t.next] = Span{Resource: resource, Label: label, Start: start, End: end}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Len reports how many spans are currently buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Dropped reports how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns the buffered spans ordered by (start, resource).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var out []Span
+	if t.full {
+		out = make([]Span, 0, len(t.ring))
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append([]Span(nil), t.ring[:t.next]...)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Resource < out[j].Resource
+	})
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// ph "X" complete events for spans, ph "M" metadata for thread names.
+// Timestamps are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// resourceCategory buckets a resource name for trace coloring.
+func resourceCategory(resource string) string {
+	switch {
+	case len(resource) >= 3 && resource[:3] == "die":
+		return "nand"
+	case len(resource) >= 4 && resource[:4] == "ecc-":
+		return "ecc"
+	case len(resource) >= 2 && resource[:2] == "ch":
+		return "channel"
+	}
+	return "sim"
+}
+
+// WriteChromeTrace serializes the buffered spans as Chrome
+// trace_event JSON, loadable in Perfetto or chrome://tracing. Each
+// resource becomes one named thread under a single "ssd" process;
+// spans become complete ("X") events with microsecond timestamps.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+
+	// Stable resource -> tid mapping, sorted so the track order is
+	// deterministic (dies, then channels, then ECC engines by name).
+	tids := map[string]int{}
+	var resources []string
+	for _, sp := range spans {
+		if _, ok := tids[sp.Resource]; !ok {
+			tids[sp.Resource] = 0
+			resources = append(resources, sp.Resource)
+		}
+	}
+	sort.Strings(resources)
+	for i, r := range resources {
+		tids[r] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(resources)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "ssd"},
+	})
+	for _, r := range resources {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tids[r],
+			Args: map[string]any{"name": r},
+		})
+	}
+	for _, sp := range spans {
+		name := sp.Label
+		if name == "" {
+			name = sp.Resource
+		}
+		dur := (sp.End - sp.Start).Microseconds()
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  resourceCategory(sp.Resource),
+			Ph:   "X",
+			Ts:   sp.Start.Microseconds(),
+			Dur:  &dur,
+			PID:  1,
+			TID:  tids[sp.Resource],
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"}); err != nil {
+		return fmt.Errorf("obs: chrome trace encode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Span("die0", "A", sim.Time(i), sim.Time(i+1))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	spans := tr.Spans()
+	// The two oldest spans (start 0 and 1) were overwritten.
+	if spans[0].Start != 2 || spans[len(spans)-1].Start != 5 {
+		t.Fatalf("unexpected surviving spans: %+v", spans)
+	}
+}
+
+func TestTracerSpansSorted(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Span("ch0", "B", 50, 60)
+	tr.Span("die1", "A", 10, 20)
+	tr.Span("die0", "A", 10, 15)
+	spans := tr.Spans()
+	if spans[0].Resource != "die0" || spans[1].Resource != "die1" || spans[2].Resource != "ch0" {
+		t.Fatalf("spans not sorted by (start, resource): %+v", spans)
+	}
+}
+
+// sampleTracer builds the deterministic span set behind the golden
+// file: a die sense, a channel transfer, an ECC decode and a retry.
+func sampleTracer() *Tracer {
+	tr := NewTracer(16)
+	tr.Span("die0", "A", 0, 40000)
+	tr.Span("ch0", "A", 40000, 53250)
+	tr.Span("ecc-ch0", "A", 53250, 58000)
+	tr.Span("die0", "A'", 58000, 98000)
+	tr.Span("die1", "W", 10000, 410000)
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with go test -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceShape validates the trace_event structure Perfetto
+// and chrome://tracing require: a traceEvents array whose "X" events
+// carry ts/dur in microseconds and whose threads are named via "M"
+// metadata events.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var meta, complete int
+	threadNames := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name == "thread_name" {
+				threadNames[ev.TID] = ev.Args["name"].(string)
+			}
+		case "X":
+			complete++
+			if ev.Dur == nil {
+				t.Fatalf("complete event %q lacks dur", ev.Name)
+			}
+			if ev.PID != 1 {
+				t.Fatalf("complete event %q pid = %d", ev.Name, ev.PID)
+			}
+			if want := threadNames[ev.TID]; want == "" {
+				t.Fatalf("complete event %q on unnamed tid %d", ev.Name, ev.TID)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete != 5 {
+		t.Fatalf("complete events = %d, want 5", complete)
+	}
+	// One process_name plus one thread_name per distinct resource.
+	if meta != 1+4 {
+		t.Fatalf("metadata events = %d, want 5", meta)
+	}
+	// die0's sense: 40000 ns -> ts 0, dur 40 us.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "A" && threadNames[ev.TID] == "die0" {
+			if ev.Ts != 0 || *ev.Dur != 40 {
+				t.Fatalf("die0 A: ts=%v dur=%v, want 0/40us", ev.Ts, *ev.Dur)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("die0's A span missing from trace")
+	}
+}

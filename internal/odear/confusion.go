@@ -1,0 +1,76 @@
+package odear
+
+import "fmt"
+
+// Confusion is the RP prediction confusion matrix of a run, in the
+// orientation of the paper's accuracy discussion: "positive" means RP
+// predicts the off-chip decode would fail (a retry is needed).
+//
+//   - TP: predicted fail, page really uncorrectable — RiF's win case.
+//   - FP: predicted fail, page was correctable — a wasted in-die
+//     re-read (extra tR) but no correctness issue.
+//   - FN: predicted OK, page really uncorrectable — the doomed page
+//     crosses the channel and burns a full failed decode.
+//   - TN: predicted OK, page correctable — the common fast path.
+type Confusion struct {
+	TP int64 `json:"tp"`
+	FP int64 `json:"fp"`
+	FN int64 `json:"fn"`
+	TN int64 `json:"tn"`
+}
+
+// Record folds one prediction into the matrix.
+func (c *Confusion) Record(predictedFail, actuallyFails bool) {
+	switch {
+	case predictedFail && actuallyFails:
+		c.TP++
+	case predictedFail && !actuallyFails:
+		c.FP++
+	case !predictedFail && actuallyFails:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Add accumulates another matrix.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+	c.TN += o.TN
+}
+
+// Predictions reports the total number of predictions.
+func (c Confusion) Predictions() int64 { return c.TP + c.FP + c.FN + c.TN }
+
+// Mispredictions reports the number of wrong predictions.
+func (c Confusion) Mispredictions() int64 { return c.FP + c.FN }
+
+// Accuracy reports the overall fraction of correct predictions
+// (1 when no predictions were made).
+func (c Confusion) Accuracy() float64 {
+	n := c.Predictions()
+	if n == 0 {
+		return 1
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// UncorrectableAccuracy reports the accuracy over uncorrectable pages
+// only, TP/(TP+FN) — the paper's headline "prediction accuracy for
+// uncorrectable pages" (98.7% for the approximate predictor,
+// Fig. 14). Returns 1 when no uncorrectable page was seen.
+func (c Confusion) UncorrectableAccuracy() float64 {
+	n := c.TP + c.FN
+	if n == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(n)
+}
+
+// String summarizes the matrix for experiment logs.
+func (c Confusion) String() string {
+	return fmt.Sprintf("tp=%d fp=%d fn=%d tn=%d acc=%.4f uncor-acc=%.4f",
+		c.TP, c.FP, c.FN, c.TN, c.Accuracy(), c.UncorrectableAccuracy())
+}

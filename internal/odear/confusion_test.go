@@ -1,0 +1,46 @@
+package odear
+
+import "testing"
+
+func TestConfusionRecord(t *testing.T) {
+	var c Confusion
+	c.Record(true, true)   // TP
+	c.Record(true, true)   // TP
+	c.Record(true, false)  // FP
+	c.Record(false, true)  // FN
+	c.Record(false, false) // TN
+	c.Record(false, false) // TN
+	c.Record(false, false) // TN
+
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 3 {
+		t.Fatalf("cells = %+v", c)
+	}
+	if c.Predictions() != 7 {
+		t.Fatalf("predictions = %d", c.Predictions())
+	}
+	if c.Mispredictions() != 2 {
+		t.Fatalf("mispredictions = %d", c.Mispredictions())
+	}
+	if got, want := c.Accuracy(), 5.0/7.0; got != want {
+		t.Fatalf("accuracy = %v, want %v", got, want)
+	}
+	if got, want := c.UncorrectableAccuracy(), 2.0/3.0; got != want {
+		t.Fatalf("uncorrectable accuracy = %v, want %v", got, want)
+	}
+}
+
+func TestConfusionEmptyAndAdd(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 1 || c.UncorrectableAccuracy() != 1 {
+		t.Fatal("empty matrix should report perfect accuracy")
+	}
+	other := Confusion{TP: 1, FP: 2, FN: 3, TN: 4}
+	c.Add(other)
+	c.Add(other)
+	if c.TP != 2 || c.FP != 4 || c.FN != 6 || c.TN != 8 {
+		t.Fatalf("after Add twice: %+v", c)
+	}
+	if c.String() == "" {
+		t.Fatal("String() empty")
+	}
+}

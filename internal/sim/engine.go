@@ -96,6 +96,9 @@ type Engine struct {
 	stopped bool
 	// processed counts events executed, for diagnostics and loop guards.
 	processed uint64
+	// maxPending is the event heap's depth high-water mark, for
+	// observability (how bursty was the schedule?).
+	maxPending int
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -113,6 +116,9 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // that have not yet been discarded).
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// MaxPending reports the deepest the event heap has ever been.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
 // At schedules fn to run at absolute time at. Scheduling in the past
 // panics: it is always a model bug.
 func (e *Engine) At(at Time, fn Handler) EventID {
@@ -122,6 +128,9 @@ func (e *Engine) At(at Time, fn Handler) EventID {
 	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.maxPending {
+		e.maxPending = len(e.queue)
+	}
 	return EventID{ev}
 }
 

@@ -10,6 +10,12 @@ type writeCache struct {
 	capacity int
 	inUse    int
 	waiters  []cacheWaiter
+
+	// Observability: immediate admissions vs back-pressured ones, and
+	// the occupancy high-water mark.
+	hits      int64
+	stalls    int64
+	inUseHigh int
 }
 
 type cacheWaiter struct {
@@ -29,10 +35,15 @@ func (c *writeCache) enabled() bool { return c.capacity > 0 }
 // are granted alone when the cache drains completely.
 func (c *writeCache) acquire(pages int, fn func()) {
 	if c.admissible(pages) && len(c.waiters) == 0 {
+		c.hits++
 		c.inUse += pages
+		if c.inUse > c.inUseHigh {
+			c.inUseHigh = c.inUse
+		}
 		fn()
 		return
 	}
+	c.stalls++
 	c.waiters = append(c.waiters, cacheWaiter{pages: pages, fn: fn})
 }
 
@@ -56,6 +67,9 @@ func (c *writeCache) release(pages int) {
 		}
 		c.waiters = c.waiters[1:]
 		c.inUse += w.pages
+		if c.inUse > c.inUseHigh {
+			c.inUseHigh = c.inUse
+		}
 		w.fn()
 	}
 }

@@ -48,6 +48,10 @@ type channelStation struct {
 	busy       bool
 	bufInUse   int
 	engineBusy bool
+	// bufHigh and pendHigh are occupancy high-water marks for
+	// observability (ECC raw-buffer slots, channel backlog).
+	bufHigh  int
+	pendHigh int
 
 	pending     []*xferJob // waiting for channel (+ buffer for reads)
 	decodeQueue []*xferJob // transferred, waiting for the ECC engine
@@ -72,6 +76,9 @@ func newChannelStation(eng *sim.Engine, tDMAPage sim.Time, bufSlots int) *channe
 // submit enqueues a channel job.
 func (c *channelStation) submit(job *xferJob) {
 	c.pending = append(c.pending, job)
+	if len(c.pending) > c.pendHigh {
+		c.pendHigh = len(c.pending)
+	}
 	c.tryStartXfer()
 }
 
@@ -96,6 +103,9 @@ func (c *channelStation) tryStartXfer() {
 	c.busy = true
 	if job.kind == xferRead {
 		c.bufInUse++
+		if c.bufInUse > c.bufHigh {
+			c.bufHigh = c.bufInUse
+		}
 	}
 	dur := sim.Time(job.pages) * c.tDMAPage
 	xferStart := c.eng.Now()

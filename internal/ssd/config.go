@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/nand"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -163,6 +164,18 @@ type Config struct {
 	// timelines (Figs. 7/8) can be rendered; costs memory, off by
 	// default.
 	RecordSpans bool
+
+	// Obs, when non-nil, receives the run's metrics: per-channel
+	// usage and queue high-waters, ECC decode latency and buffer
+	// occupancy, the RP confusion matrix, GC and write-cache
+	// activity, and sim-kernel counters. Nil (the default) disables
+	// collection at zero hot-path cost.
+	Obs *obs.Registry `json:"-"`
+
+	// Trace, when non-nil, receives every die/channel/ECC occupancy
+	// as a sim-time span (bounded ring buffer); export it with
+	// Tracer.WriteChromeTrace. Nil disables tracing.
+	Trace *obs.Tracer `json:"-"`
 
 	// NANDParams configures the reliability physics; zero value means
 	// nand.DefaultModelParams.

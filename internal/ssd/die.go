@@ -65,6 +65,20 @@ type dieStation struct {
 
 	// suspensions counts program/erase preemptions, for metrics.
 	suspensions int64
+	// qHigh is the queue-depth high-water mark (reads + programs +
+	// suspended), for observability.
+	qHigh int
+}
+
+// noteDepth refreshes the queue-depth high-water mark.
+func (d *dieStation) noteDepth() {
+	depth := len(d.readQ) + len(d.progQ) + len(d.suspended)
+	if d.running != nil {
+		depth++
+	}
+	if depth > d.qHigh {
+		d.qHigh = depth
+	}
 }
 
 func newDieStation(eng *sim.Engine, policy DiePolicy, resumePenalty sim.Time) *dieStation {
@@ -84,6 +98,7 @@ func (d *dieStation) ReadLabeled(dur sim.Time, label string, done func()) {
 	} else {
 		d.readQ = append(d.readQ, op)
 	}
+	d.noteDepth()
 	d.maybePreempt()
 	d.kick()
 }
@@ -91,6 +106,7 @@ func (d *dieStation) ReadLabeled(dur sim.Time, label string, done func()) {
 // Program schedules a program/erase/GC occupancy.
 func (d *dieStation) Program(dur sim.Time, done func()) {
 	d.progQ = append(d.progQ, &dieOp{dur: dur, label: "W", done: done})
+	d.noteDepth()
 	d.kick()
 }
 

@@ -89,6 +89,15 @@ type Metrics struct {
 	Mispredictions   int64
 	AvoidedTransfers int64 // uncorrectable pages kept on-die by RiF
 
+	// Confusion breaks Predictions down into the four outcomes
+	// (positive = RP predicts the decode will fail), reproducing the
+	// paper's Fig. 14 accuracy split.
+	Confusion odear.Confusion
+
+	// RVSRereads counts pages re-sensed inside the die by RVS (RiF
+	// only): in-die recoveries that never consumed channel bandwidth.
+	RVSRereads int64
+
 	// GC activity.
 	GCRuns         int64
 	PagesRelocated int64

@@ -1,0 +1,80 @@
+package ssd
+
+import (
+	"fmt"
+	"math"
+)
+
+// foldObs publishes the run's final accounting into the configured
+// observability registry. The simulation engine is single-threaded, so
+// per-run scalars live as plain fields during the run and are folded
+// here once, at drain time; only the latency histograms stream live.
+// A nil registry makes every call below a no-op.
+func (s *SSD) foldObs() {
+	reg := s.cfg.Obs
+	if reg == nil {
+		return
+	}
+
+	// Simulation kernel.
+	reg.Counter("sim_events_processed_total").Add(int64(s.eng.Processed()))
+	reg.Gauge("sim_event_heap_highwater").SetMax(int64(s.eng.MaxPending()))
+	reg.Gauge("sim_time_ns").SetMax(int64(s.m.Makespan))
+
+	// Host-visible I/O.
+	reg.Counter("ssd_requests_completed_total").Add(int64(s.m.RequestsCompleted))
+	reg.Counter("ssd_bytes_read_total").Add(s.m.BytesRead)
+	reg.Counter("ssd_bytes_written_total").Add(s.m.BytesWritten)
+
+	// Retry behaviour.
+	reg.Counter("ssd_page_reads_total").Add(s.m.PageReads)
+	reg.Counter("ssd_pages_retried_total").Add(s.m.PagesRetried)
+	reg.Counter("ssd_retry_rounds_total").Add(s.m.RetryRounds)
+	reg.Counter("ssd_sentinel_extra_reads_total").Add(s.m.SentinelExtraReads)
+	reg.Counter("ssd_unrecovered_pages_total").Add(s.m.UnrecoveredPages)
+
+	// RP/RVS behaviour (the Fig. 14 confusion matrix; positive = RP
+	// predicts the decode will fail).
+	reg.Counter("odear_rp_predictions_total").Add(s.m.Predictions)
+	reg.Counter("odear_rp_mispredictions_total").Add(s.m.Mispredictions)
+	reg.Counter("odear_rp_tp_total").Add(s.m.Confusion.TP)
+	reg.Counter("odear_rp_fp_total").Add(s.m.Confusion.FP)
+	reg.Counter("odear_rp_fn_total").Add(s.m.Confusion.FN)
+	reg.Counter("odear_rp_tn_total").Add(s.m.Confusion.TN)
+	reg.Counter("odear_rvs_rereads_total").Add(s.m.RVSRereads)
+	reg.Counter("odear_avoided_transfers_total").Add(s.m.AvoidedTransfers)
+	reg.Gauge("odear_energy_delta_nj").Add(int64(math.Round(s.m.EnergyDeltaNJ())))
+
+	// Per-channel usage (the Fig. 18 breakdown, in nanoseconds) plus
+	// occupancy high-waters.
+	for i, ch := range s.channels {
+		u := ch.usage()
+		p := fmt.Sprintf("ssd_ch%d_", i)
+		reg.Counter(p + "idle_ns").Add(int64(u.Idle()))
+		reg.Counter(p + "cor_ns").Add(int64(u.Cor))
+		reg.Counter(p + "uncor_ns").Add(int64(u.Uncor))
+		reg.Counter(p + "write_ns").Add(int64(u.Write))
+		reg.Counter(p + "eccwait_ns").Add(int64(u.ECCWait))
+		reg.Counter(p + "total_ns").Add(int64(u.Total))
+		reg.Gauge(p + "ecc_buf_highwater").SetMax(int64(ch.bufHigh))
+		reg.Gauge(p + "backlog_highwater").SetMax(int64(ch.pendHigh))
+	}
+
+	// Die queue pressure (aggregated over dies: with 32+ dies a
+	// per-die series would dominate the snapshot).
+	dieHigh := 0
+	for _, d := range s.dies {
+		if d.qHigh > dieHigh {
+			dieHigh = d.qHigh
+		}
+	}
+	reg.Gauge("ssd_die_queue_depth_highwater").SetMax(int64(dieHigh))
+	reg.Counter("ssd_die_suspensions_total").Add(s.m.Suspensions)
+
+	// Background machinery.
+	reg.Counter("ssd_gc_runs_total").Add(s.m.GCRuns)
+	reg.Counter("ssd_gc_pages_relocated_total").Add(s.m.PagesRelocated)
+	reg.Counter("ssd_write_cache_hits_total").Add(s.cache.hits)
+	reg.Counter("ssd_write_cache_stalls_total").Add(s.cache.stalls)
+	reg.Gauge("ssd_write_cache_pages_highwater").SetMax(int64(s.cache.inUseHigh))
+}

@@ -15,7 +15,7 @@ func (s *SSD) readCommand(cmd dieCommand, done func()) {
 	finish := func() { s.hostTransfer(len(pages), done) }
 
 	var lbl string
-	if s.cfg.RecordSpans {
+	if s.cfg.RecordSpans || s.cfg.Trace != nil {
 		lbl = cmdLabel(s.nextCmd)
 		s.nextCmd++
 	}
@@ -201,16 +201,19 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 	}
 	plans := make([]plan, len(pages))
 	anyRetry := false
+	flagged := int64(0)
 	for i, p := range pages {
 		pf := s.predictFail(p)
 		plans[i] = plan{view: p, predFail: pf}
 		if pf {
 			anyRetry = true
+			flagged++
 			if p.fails {
 				s.m.AvoidedTransfers++
 			}
 		}
 	}
+	s.m.RVSRereads += flagged
 
 	dieTime := s.cfg.Timing.TR + s.cfg.Timing.TPred
 	if anyRetry {
@@ -232,11 +235,14 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 				continue
 			}
 			s.m.Predictions++
-			if s.acc.PredictCorrect(pl.view.rberRetry, s.predictRNG.Float64()) {
+			caught := s.acc.PredictCorrect(pl.view.rberRetry, s.predictRNG.Float64())
+			s.m.Confusion.Record(caught, true)
+			if caught {
 				// Caught: a second Swift-Read pass refines the VREF
 				// estimate further (diminishing returns).
 				pl.view.rberRetry *= 0.6
 				s.m.AvoidedTransfers++
+				s.m.RVSRereads++
 				secondRetry = true
 			} else {
 				s.m.Mispredictions++
@@ -295,17 +301,17 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 }
 
 // predictFail draws RP's prediction for a page from the calibrated
-// accuracy model and accounts for it.
+// accuracy model and accounts for it (including the confusion matrix).
 func (s *SSD) predictFail(p pageView) bool {
 	s.m.Predictions++
 	correct := s.acc.PredictCorrect(p.rberFirst, s.predictRNG.Float64())
+	predFail := p.fails
 	if !correct {
 		s.m.Mispredictions++
+		predFail = !p.fails
 	}
-	if correct {
-		return p.fails
-	}
-	return !p.fails
+	s.m.Confusion.Record(predFail, p.fails)
+	return predFail
 }
 
 // vrefModeForScheme reports the first-read VREF mode (exported for

@@ -19,12 +19,14 @@ type Span struct {
 	End      sim.Time
 }
 
-// addSpan records an occupancy when recording is enabled.
+// addSpan records an occupancy into the in-memory span list (when
+// RecordSpans is set) and the configured tracer (when Config.Trace is
+// set). Stations only call it when at least one sink is active.
 func (s *SSD) addSpan(resource, label string, start, end sim.Time) {
-	if !s.cfg.RecordSpans {
-		return
+	if s.cfg.RecordSpans {
+		s.spans = append(s.spans, Span{Resource: resource, Label: label, Start: start, End: end})
 	}
-	s.spans = append(s.spans, Span{Resource: resource, Label: label, Start: start, End: end})
+	s.cfg.Trace.Span(resource, label, start, end)
 }
 
 // Spans returns the recorded occupancies, ordered by start time.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/nand"
+	"repro/internal/obs"
 	"repro/internal/odear"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -49,6 +50,10 @@ type SSD struct {
 	spans   []Span
 	nextCmd int
 
+	// readLat streams per-request read latencies (µs) into the
+	// configured registry; nil (a no-op) when observability is off.
+	readLat *obs.Histogram
+
 	m Metrics
 }
 
@@ -85,10 +90,16 @@ func New(cfg Config, w Workload) (*SSD, error) {
 	}
 	s.m.Scheme = cfg.Scheme
 	s.m.PECycles = cfg.PECycles
+	// Observability hooks: the ECC engine streams decode latencies,
+	// startRequest streams read latencies. Both handles are nil-safe
+	// no-ops when cfg.Obs is nil.
+	s.dec.Hist = cfg.Obs.Histogram("ecc_decode_latency_us")
+	s.readLat = cfg.Obs.Histogram("ssd_read_latency_us")
+	recordSpans := cfg.RecordSpans || cfg.Trace != nil
 	for d := 0; d < cfg.Geometry.TotalDies(); d++ {
 		die := newDieStation(eng, cfg.DiePolicy, cfg.ResumePenalty)
 		die.name = fmt.Sprintf("die%d", d)
-		if cfg.RecordSpans {
+		if recordSpans {
 			die.record = s.addSpan
 		}
 		s.dies = append(s.dies, die)
@@ -96,7 +107,7 @@ func New(cfg Config, w Workload) (*SSD, error) {
 	for ch := 0; ch < cfg.Geometry.Channels; ch++ {
 		st := newChannelStation(eng, cfg.Timing.TDMAPage, cfg.ECCBufferSlots)
 		st.name = fmt.Sprintf("ch%d", ch)
-		if cfg.RecordSpans {
+		if recordSpans {
 			st.record = s.addSpan
 		}
 		s.channels = append(s.channels, st)
@@ -175,6 +186,7 @@ func (s *SSD) finishRun() error {
 		s.m.Channels.add(ch.usage())
 	}
 	s.m.GCRuns, s.m.PagesRelocated = s.ftl.GCStats()
+	s.foldObs()
 	return nil
 }
 
@@ -218,7 +230,9 @@ func (s *SSD) startRequest(req trace.Request, chain bool) {
 		bytes := int64(req.Pages) * int64(s.cfg.Geometry.PageBytes)
 		if req.Op == trace.Read {
 			s.m.BytesRead += bytes
-			s.m.ReadLatencies.Add((s.eng.Now() - start).Microseconds())
+			lat := (s.eng.Now() - start).Microseconds()
+			s.m.ReadLatencies.Add(lat)
+			s.readLat.Observe(lat)
 		} else {
 			s.m.BytesWritten += bytes
 		}

@@ -20,6 +20,7 @@ package rif
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 )
@@ -106,3 +107,33 @@ type BandwidthTable = core.BandwidthTable
 func CompareSchemes(p RunParams, schemes []Scheme, workloads []string, peCycles []int) (*BandwidthTable, error) {
 	return core.CompareSchemes(p, schemes, workloads, peCycles)
 }
+
+// Registry is the observability metrics registry: atomic counters,
+// gauges and streaming histograms. Attach one via Config.Obs or
+// RunParams.Obs; a nil registry disables collection at zero hot-path
+// cost.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Tracer records sim-time resource occupancies into a bounded ring
+// buffer and exports them as Chrome trace_event JSON.
+type Tracer = obs.Tracer
+
+// NewTracer returns a tracer with the given span capacity (values < 1
+// select the default).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// RunManifest is the machine-readable record of one simulation run.
+type RunManifest = obs.Manifest
+
+// RunCollection gathers the manifests of a multi-run experiment; set
+// it as RunParams.Collect to record every simulated cell.
+type RunCollection = obs.Collection
+
+// NewRunCollection returns an empty manifest collection.
+func NewRunCollection() *RunCollection { return obs.NewCollection() }
+
+// MetricsSnapshot is a point-in-time copy of a registry's instruments.
+type MetricsSnapshot = obs.Snapshot
