@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestTreeIsClean is the smoke test the acceptance criteria require:
+// the full suite over the whole module must report nothing. Any
+// finding here means either a new violation slipped in (fix the code)
+// or an analyzer grew a false positive (fix the analyzer) — both are
+// blocking.
+func TestTreeIsClean(t *testing.T) {
+	pkgs, err := analysis.Load("", []string{"repro/..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern repro/... no longer matches the module?", len(pkgs))
+	}
+	for _, d := range analysis.Run(pkgs, analysis.All()) {
+		t.Errorf("riflint violation: %s", d)
+	}
+}
+
+// TestVersionFlag covers the -V=full probe the go command sends a
+// -vettool before trusting it.
+func TestVersionFlag(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-V=full"}, w, os.Stderr); code != 0 {
+		t.Fatalf("run(-V=full) = %d, want 0", code)
+	}
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(buf.String())
+	if len(fields) < 3 || fields[0] != "riflint" || fields[1] != "version" {
+		t.Fatalf("-V=full output %q does not match %q", buf.String(), "riflint version <v>")
+	}
+}
+
+// TestGoVetVettool builds the binary and drives it through the real
+// `go vet -vettool` protocol: clean on a real package, failing on a
+// throwaway module with a violation.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "riflint")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building riflint: %v\n%s", err, out)
+	}
+
+	// Clean package: vet must succeed.
+	clean := exec.Command("go", "vet", "-vettool="+tool, "repro/internal/sim")
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean package failed: %v\n%s", err, out)
+	}
+
+	// Violating module: vet must fail and name the violation.
+	dir := filepath.Join(tmp, "badmod")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(dir, "go.mod"), "module badmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), `package badmod
+
+import "math/rand/v2"
+
+func Roll() int { return rand.IntN(6) }
+`)
+	vet := exec.Command("go", "vet", "-vettool="+tool, ".")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on violating module unexpectedly passed:\n%s", out)
+	}
+	if !strings.Contains(string(out), "process-global random stream") {
+		t.Fatalf("go vet output does not name the violation:\n%s", out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

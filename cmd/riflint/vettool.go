@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the per-package configuration the go command hands a
+// -vettool (the x/tools "unitchecker" protocol). Only the fields
+// riflint needs are decoded.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path in source -> canonical path
+	PackageFile               map[string]string // canonical path -> export data file
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVettool analyzes one compilation unit described by cfgPath and
+// prints findings in the plain file:line:col form the go command
+// relays. It always writes the facts file the protocol requires (we
+// carry no facts, so it is a constant placeholder).
+func runVettool(cfgPath string, stdout, stderr *os.File) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "riflint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "riflint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("riflint has no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(stderr, "riflint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := analysis.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(stderr, "riflint:", err)
+		return 1
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := analysis.Check(fset, cfg.ImportPath, files, importer.ForCompiler(fset, "gc", lookup), cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, "riflint:", err)
+		return 1
+	}
+
+	diags := analysis.Run([]*analysis.Package{pkg}, analysis.All())
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -14,6 +15,9 @@ import (
 )
 
 func main() {
+	seed := flag.Uint64("seed", 42, "run seed for the programmed page data")
+	flag.Parse()
+
 	run := func(odear bool) *rif.PageReadStats {
 		cfg := rif.DefaultChipConfig()
 		cfg.ODEAR = odear
@@ -24,7 +28,7 @@ func main() {
 		ctrl := rif.NewChipController(cfg.Code)
 
 		// Program a page of random data.
-		rng := rand.New(rand.NewPCG(42, 0))
+		rng := rand.New(rand.NewPCG(*seed, 0))
 		data := make([]byte, cfg.PageBytes)
 		for i := range data {
 			data[i] = byte(rng.UintN(256))

@@ -1,0 +1,265 @@
+package analysis
+
+// An analysistest-style golden harness built on the same loader
+// machinery as the real checker. Fixture packages live under
+// testdata/src/<import-path>/ and annotate expected findings with
+// trailing comments of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// Each regexp must match at least one diagnostic reported on that
+// line, and every diagnostic must be claimed by some regexp. Stub
+// packages under testdata/src/repro/... mirror the import paths the
+// analyzers key on (sim.Time, obs.Registry, ...), so the matchers run
+// exactly the code paths they run on the real tree.
+
+import (
+	"bufio"
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureImporter resolves imports for fixture packages: paths that
+// exist under testdata/src are type-checked from source (recursively),
+// everything else comes from the toolchain's export data.
+type fixtureImporter struct {
+	fset  *token.FileSet
+	root  string
+	std   types.Importer
+	cache map[string]*types.Package
+}
+
+var stdExports struct {
+	once    sync.Once
+	exports map[string]string
+	err     error
+}
+
+// stdlibExports lists every non-fixture import reachable from
+// testdata/src and resolves it (plus transitive deps) to export data
+// with one `go list` invocation, cached per test process.
+func stdlibExports(root string) (map[string]string, error) {
+	stdExports.once.Do(func() {
+		seen := make(map[string]bool)
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			f, err := parseImportsOnly(path)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f {
+				if _, statErr := os.Stat(filepath.Join(root, imp)); statErr != nil {
+					seen[imp] = true
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			stdExports.err = err
+			return
+		}
+		var paths []string
+		for p := range seen {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList("", paths)
+		if err != nil {
+			stdExports.err = err
+			return
+		}
+		stdExports.exports = make(map[string]string)
+		for _, p := range listed {
+			if p.Export != "" {
+				stdExports.exports[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return stdExports.exports, stdExports.err
+}
+
+func parseImportsOnly(path string) ([]string, error) {
+	f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, imp := range f.Imports {
+		out = append(out, strings.Trim(imp.Path.Value, `"`))
+	}
+	return out, nil
+}
+
+func newFixtureImporter(t *testing.T, root string) *fixtureImporter {
+	t.Helper()
+	exports, err := stdlibExports(root)
+	if err != nil {
+		t.Fatalf("resolving stdlib export data: %v", err)
+	}
+	fset := token.NewFileSet()
+	return &fixtureImporter{
+		fset:  fset,
+		root:  root,
+		std:   importer.ForCompiler(fset, "gc", exportLookup(exports)),
+		cache: make(map[string]*types.Package),
+	}
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.root, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return fi.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at the given import
+// path relative to the testdata root.
+func (fi *fixtureImporter) load(path string) (*Package, error) {
+	dir := filepath.Join(fi.root, path)
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := parseFiles(fi.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := checkPackage(fi.fset, path, files, fi, "")
+	if err != nil {
+		return nil, err
+	}
+	fi.cache[path] = pkg.Types
+	return pkg, nil
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return names, nil
+}
+
+// runGolden checks one analyzer against one fixture package.
+func runGolden(t *testing.T, a *Analyzer, pkgPath string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := newFixtureImporter(t, root)
+	pkg, err := fi.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+	wants, err := parseWants(filepath.Join(root, pkgPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := make(map[*want]bool)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		var hit *want
+		for _, w := range wants[key] {
+			if !matched[w] && w.re.MatchString(d.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+			continue
+		}
+		matched[hit] = true
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				t.Errorf("%s: no diagnostic matched `%s`", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+var wantArgRE = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)+)\"")
+
+// parseWants scans every fixture file for `// want` expectations,
+// keyed by "absfile:line".
+func parseWants(dir string) (map[string][]*want, error) {
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	wants := make(map[string][]*want)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+				expr := arg[1]
+				if expr == "" {
+					expr = arg[2]
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", path, line, err)
+				}
+				key := fmt.Sprintf("%s:%d", path, line)
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	return wants, nil
+}

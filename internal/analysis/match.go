@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Canonical paths of the packages whose types the analyzers key on.
+// Golden-test fixtures provide stub packages under the same paths so
+// the matchers behave identically in tests.
+const (
+	simPkgPath = "repro/internal/sim"
+	obsPkgPath = "repro/internal/obs"
+)
+
+// deepSimPackages are the packages where unordered map iteration can
+// perturb event order or run output — the blast radius of the
+// maporder check. Fixture packages (riflint.test/...) opt in so the
+// golden tests exercise the same code path.
+var deepSimPackages = map[string]bool{
+	"repro/internal/sim":   true,
+	"repro/internal/ssd":   true,
+	"repro/internal/nand":  true,
+	"repro/internal/chip":  true,
+	"repro/internal/odear": true,
+	"repro/internal/ecc":   true,
+	"repro/internal/ldpc":  true,
+	"repro/internal/nvme":  true,
+	"repro/internal/core":  true,
+}
+
+func inDeepSimPackage(path string) bool {
+	return deepSimPackages[path] || strings.HasPrefix(path, "riflint.test/")
+}
+
+// namedFrom reports whether t (after stripping pointers) is the named
+// type pkgPath.name, returning the stripped named type.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isSimTime reports whether t is repro/internal/sim.Time.
+func isSimTime(t types.Type) bool {
+	return t != nil && namedFrom(t, simPkgPath, "Time")
+}
+
+// obsInstruments are the handle types the obs registry hands out.
+var obsInstruments = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Tracer":    true,
+}
+
+// obsInstrumentName returns the instrument type name if t (after
+// stripping pointers) is one of the obs handle types, else "".
+func obsInstrumentName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != obsPkgPath {
+		return ""
+	}
+	if obsInstruments[obj.Name()] {
+		return obj.Name()
+	}
+	return ""
+}
+
+// funcFrom returns the *types.Func for the expression being called if
+// it resolves to a function declared in package pkgPath, else nil.
+// It sees through selector expressions (pkg.Fn, recv.Method).
+func funcFrom(info *types.Info, fun ast.Expr, pkgPath string) *types.Func {
+	fun = ast.Unparen(fun)
+	var obj types.Object
+	switch e := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return nil
+	}
+	return fn
+}
+
+// mentionsSimTimeValue reports whether expr's subtree references any
+// constant, variable or function result of type sim.Time — i.e. the
+// expression derives from the typed unit system rather than a raw
+// number.
+func mentionsSimTimeValue(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		switch obj.(type) {
+		case *types.Const, *types.Var, *types.Func:
+		default:
+			return true
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			if sig, ok := o.Type().(*types.Signature); ok && sig.Results().Len() == 1 && isSimTime(sig.Results().At(0).Type()) {
+				found = true
+			}
+		default:
+			if isSimTime(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestObsSafe(t *testing.T) {
+	runGolden(t, ObsSafe, "riflint.test/obssafe")
+}
+
+// The obs package itself constructs instruments; analyzing the stub
+// under the real import path must report nothing.
+func TestObsSafeExemptsObsPackage(t *testing.T) {
+	runGolden(t, ObsSafe, "repro/internal/obs")
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedFlow keeps every random stream answerable to the run seed: the
+// seed argument of rand.NewPCG / rand.NewSource in non-test code must
+// be derived from a parameter, field or config value, never a
+// hard-coded literal. A literal seed silently pins per-block process
+// variation (and any other stochastic input) to one universe, so
+// "vary the seed" sweeps stop varying anything.
+//
+// Stream/sequence selectors (the second NewPCG argument) may be
+// literals — they are labels that keep streams independent, not seeds.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc: "require rand.NewPCG/NewSource seeds in non-test code to flow from " +
+		"run configuration rather than hard-coded literals",
+	Run: runSeedFlow,
+}
+
+func runSeedFlow(pass *Pass) {
+	for _, file := range pass.Syntax {
+		if len(file.Decls) == 0 || pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFrom(pass.TypesInfo, call.Fun, "math/rand/v2")
+			if fn == nil {
+				fn = funcFrom(pass.TypesInfo, call.Fun, "math/rand")
+			}
+			if fn == nil || (fn.Name() != "NewPCG" && fn.Name() != "NewSource") {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			seed := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[seed]
+			if !ok || tv.Value == nil {
+				return true // seed is computed from something — fine
+			}
+			pass.Report(seed.Pos(), "seedflow",
+				"hard-coded seed %s in rand.%s: thread the run seed (config/parameter) "+
+					"through so per-run variation stays controlled by one knob",
+				tv.Value.ExactString(), fn.Name())
+			return true
+		})
+	}
+}

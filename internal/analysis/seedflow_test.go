@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSeedFlow(t *testing.T) {
+	runGolden(t, SeedFlow, "riflint.test/seedflow")
+}

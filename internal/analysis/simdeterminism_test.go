@@ -1,0 +1,31 @@
+package analysis
+
+import "testing"
+
+func TestSimDeterminismWallClock(t *testing.T) {
+	runGolden(t, SimDeterminism, "riflint.test/wallclock")
+}
+
+func TestSimDeterminismGlobalRand(t *testing.T) {
+	runGolden(t, SimDeterminism, "riflint.test/globalrand")
+}
+
+func TestSimDeterminismMapOrder(t *testing.T) {
+	runGolden(t, SimDeterminism, "riflint.test/maporder")
+}
+
+// The map-order check is scoped to the deep-sim packages: the same
+// fixture analyzed under a non-sim package path must stay silent.
+func TestMapOrderScopedToDeepSimPackages(t *testing.T) {
+	if inDeepSimPackage("repro/internal/plot") {
+		t.Fatal("plot should not be a deep-sim package")
+	}
+	for _, path := range []string{
+		"repro/internal/sim", "repro/internal/ssd", "repro/internal/ldpc",
+		"repro/internal/core", "riflint.test/maporder",
+	} {
+		if !inDeepSimPackage(path) {
+			t.Errorf("expected %s to be in the deep-sim package set", path)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// SimTime is a units checker for the simulation clock: any raw numeric
+// literal that lands in a sim.Time slot (argument, field, assignment,
+// comparison) must be spelled in terms of the typed unit constants
+// (sim.Nanosecond, sim.Microsecond, ...). A bare 40000 meaning "40 us"
+// and a bare 40000 meaning "40000 us" type-check identically — this is
+// the classic ns-vs-us mixup that corrupts every latency in a run
+// without failing a single test.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc: "require sim.Time values to be built from the typed unit constants " +
+		"rather than raw integer literals or unit-free integer arithmetic",
+	Run: runSimTime,
+}
+
+func runSimTime(pass *Pass) {
+	// The sim package itself defines the unit system; its fixture twin
+	// is exempt for the same reason.
+	if pass.PkgPath == simPkgPath {
+		return
+	}
+	seen := make(map[token.Pos]bool)
+	for _, file := range pass.Syntax {
+		if len(file.Decls) == 0 || pass.InTestFile(file.Pos()) {
+			continue
+		}
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok {
+				return true
+			}
+			switch {
+			case tv.Value != nil && isSimTime(tv.Type):
+				checkConstantTime(pass, expr, tv, stack, seen)
+			case tv.Value == nil && isSimTime(tv.Type):
+				checkTimeConversion(pass, expr)
+			}
+			return true
+		})
+	}
+}
+
+// checkConstantTime flags a maximal constant expression of type
+// sim.Time whose spelling never touches a sim.Time-typed constant.
+// `3 * sim.Microsecond` mentions one; a bare `40000` does not.
+func checkConstantTime(pass *Pass, expr ast.Expr, tv types.TypeAndValue, stack []ast.Node, seen map[token.Pos]bool) {
+	// Only consider the outermost constant expression so `40 * 1000`
+	// reports once, at the whole expression.
+	if parent := parentExpr(stack); parent != nil {
+		if ptv, ok := pass.TypesInfo.Types[parent]; ok && ptv.Value != nil {
+			return
+		}
+	}
+	if seen[expr.Pos()] {
+		return
+	}
+	seen[expr.Pos()] = true
+
+	if v, ok := constant.Int64Val(tv.Value); ok && v == 0 {
+		return // zero is zero in every unit
+	}
+	if mentionsSimTimeValue(pass.TypesInfo, expr) {
+		return
+	}
+	if isScaleFactor(pass.TypesInfo, expr, stack) {
+		return
+	}
+	pass.Report(expr.Pos(), "simtime",
+		"raw constant %s used as sim.Time: spell durations with the unit constants "+
+			"(e.g. 40*sim.Microsecond) so ns-vs-us mistakes cannot type-check",
+		tv.Value.ExactString())
+}
+
+// checkTimeConversion flags sim.Time(expr) conversions whose operand
+// mixes in raw integer literals without any sim.Time-typed operand —
+// unit-free arithmetic laundered through a conversion.
+func checkTimeConversion(pass *Pass, expr ast.Expr) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	arg := call.Args[0]
+	if mentionsSimTimeValue(pass.TypesInfo, arg) {
+		return
+	}
+	if !containsNonZeroIntLiteral(pass.TypesInfo, arg) {
+		return // pure data-driven conversion (config field, counter, ...)
+	}
+	pass.Report(call.Pos(), "simtime",
+		"sim.Time conversion over unit-free integer arithmetic: multiply by a unit "+
+			"constant (e.g. sim.Time(n)*sim.Microsecond) instead of baking the scale "+
+			"into a raw literal")
+}
+
+// isScaleFactor reports whether the constant expr multiplies (or
+// divides) something that already carries sim.Time units, e.g. the 2
+// in `2 * cfg.Timing.TR`. Scalars scale durations; only raw addends
+// and comparands (`t + 40000`, `t > 100`) denote durations themselves
+// and must be spelled with unit constants.
+func isScaleFactor(info *types.Info, expr ast.Expr, stack []ast.Node) bool {
+	child := ast.Node(expr)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr, *ast.UnaryExpr:
+			child = parent
+			continue
+		case *ast.BinaryExpr:
+			if parent.Op != token.MUL && parent.Op != token.QUO && parent.Op != token.REM {
+				return false
+			}
+			other := parent.X
+			if other == child {
+				other = parent.Y
+			}
+			if otv, ok := info.Types[other]; ok && otv.Value == nil && isSimTime(otv.Type) {
+				return true // scaling a runtime sim.Time value
+			}
+			if mentionsSimTimeValue(info, other) {
+				return true
+			}
+			child = parent
+			continue
+		}
+		return false
+	}
+	return false
+}
+
+// containsNonZeroIntLiteral reports whether expr's subtree has an
+// integer literal other than 0 or 1 (0 is unitless; 1 is a neutral
+// scale factor, not a duration).
+func containsNonZeroIntLiteral(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.INT {
+			return !found
+		}
+		if lit.Value != "0" && lit.Value != "1" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// parentExpr returns the nearest enclosing expression on the stack, or
+// nil when the node hangs directly off a statement or declaration.
+func parentExpr(stack []ast.Node) ast.Expr {
+	if len(stack) == 0 {
+		return nil
+	}
+	if e, ok := stack[len(stack)-1].(ast.Expr); ok {
+		return e
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestSimTime(t *testing.T) {
+	runGolden(t, SimTime, "riflint.test/simtime")
+}
+
+// The sim package defines the unit system and is exempt: analyzing
+// the stub itself (same import path) must report nothing.
+func TestSimTimeExemptsUnitDefinitions(t *testing.T) {
+	runGolden(t, SimTime, "repro/internal/sim")
+}

@@ -1,0 +1,36 @@
+// Golden fixture for simdeterminism's global-rand check.
+package globalrand
+
+import (
+	randv1 "math/rand"
+	"math/rand/v2"
+)
+
+func bad() int {
+	return rand.IntN(6) // want `math/rand/v2\.IntN draws from the process-global random stream`
+}
+
+func badValueUse() func() float64 {
+	return rand.Float64 // want `math/rand/v2\.Float64 draws from the process-global random stream`
+}
+
+func badV1() float64 {
+	return randv1.Float64() // want `math/rand\.Float64 draws from the process-global random stream`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand/v2\.Shuffle draws from the process-global`
+}
+
+func okSeeded(seed uint64) float64 {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	return rng.Float64()
+}
+
+func okSeededV1(seed int64) float64 {
+	return randv1.New(randv1.NewSource(seed)).Float64()
+}
+
+func allowed() int {
+	return rand.IntN(6) //riflint:allow globalrand -- golden test
+}

@@ -1,0 +1,85 @@
+// Golden fixture for simdeterminism's map-iteration-order check.
+// The package path (riflint.test/...) opts into the deep-sim package
+// set where the check is active.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appending to "keys" inside a map range`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func okSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m { // collect-then-sort is deterministic
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want `calling fmt\.Println inside a map range`
+		fmt.Println(k, v)
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var out []byte
+	for k := range m { // want `appending to "out" inside a map range`
+		out = append(out, k...)
+	}
+	return string(out)
+}
+
+func badSchedule(e *sim.Engine, m map[int]func()) {
+	for t, fn := range m { // want `calling sim\.Engine\.At inside a map range`
+		e.At(sim.Time(t)*sim.Microsecond, fn)
+	}
+}
+
+func badSend(m map[int]int, ch chan int) {
+	for _, v := range m { // want `sending on a channel from inside a map range`
+		ch <- v
+	}
+}
+
+func okAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative fold: order-insensitive
+		total += v
+	}
+	return total
+}
+
+func okLocalAppend(m map[string][]int) {
+	for _, vs := range m { // slice dies inside the iteration
+		var local []int
+		local = append(local, vs...)
+		_ = local
+	}
+}
+
+func okSliceRange(xs []int, out *[]int) {
+	for _, v := range xs { // not a map: slices iterate in order
+		*out = append(*out, v)
+	}
+}
+
+func allowed(m map[string]int) []string {
+	var keys []string
+	//riflint:allow maporder -- golden test: caller shuffles anyway
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

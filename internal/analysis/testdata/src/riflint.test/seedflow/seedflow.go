@@ -1,0 +1,36 @@
+// Golden fixture for the seedflow seed-provenance checker.
+package seedflow
+
+import (
+	randv1 "math/rand"
+	"math/rand/v2"
+)
+
+type config struct{ Seed uint64 }
+
+func bad() *rand.Rand {
+	return rand.New(rand.NewPCG(42, 0)) // want `hard-coded seed 42 in rand\.NewPCG`
+}
+
+const defaultSeed = 7
+
+func badNamedConst() *rand.Rand {
+	return rand.New(rand.NewPCG(defaultSeed, 0)) // want `hard-coded seed 7 in rand\.NewPCG`
+}
+
+func badV1() *randv1.Rand {
+	return randv1.New(randv1.NewSource(99)) // want `hard-coded seed 99 in rand\.NewSource`
+}
+
+func okFromConfig(cfg config) *rand.Rand {
+	return rand.New(rand.NewPCG(cfg.Seed, 0x1dbc)) // stream labels may be literals
+}
+
+func okDerived(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed^0x9e3779b97f4a7c15, 1))
+}
+
+func allowed() *rand.Rand {
+	//riflint:allow seedflow -- golden test: fixture universe
+	return rand.New(rand.NewPCG(1, 2))
+}

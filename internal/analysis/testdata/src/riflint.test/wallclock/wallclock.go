@@ -1,0 +1,32 @@
+// Golden fixture for simdeterminism's wall-clock check.
+package wallclock
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func badSince(t0 time.Time) float64 {
+	time.Sleep(time.Second)         // want `time\.Sleep reads the wall clock`
+	return time.Since(t0).Seconds() // want `time\.Since reads the wall clock`
+}
+
+func badTimer() {
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+}
+
+func allowedAbove() time.Time {
+	//riflint:allow wallclock -- golden test: directive on the line above
+	return time.Now()
+}
+
+func allowedInline() time.Time {
+	return time.Now() //riflint:allow wallclock -- golden test: inline directive
+}
+
+// Constructing durations and formatting timestamps is fine — only
+// observing the host clock is not.
+func okDuration(t time.Time) (time.Duration, string) {
+	return 3 * time.Second, t.Format(time.RFC3339)
+}

@@ -2,6 +2,7 @@ package ssd
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/nand"
 	"repro/internal/sim"
@@ -202,9 +203,17 @@ func (f *FTL) collect(p *planeState) (*GCWork, error) {
 	st := p.blocks[victim]
 	work := &GCWork{Plane: p.addr, VictimBlock: victim, PagesRelocated: len(st.valid), Erases: 1}
 
-	// Relocate valid pages into the cursor chain.
-	for page, lpn := range st.valid {
-		_ = page
+	// Relocate valid pages into the cursor chain, in page order: map
+	// iteration order is randomized per run, and the order pages land
+	// on the cursor chain decides the post-GC physical layout (and
+	// thus every later read's timing).
+	pages := make([]int, 0, len(st.valid))
+	for page := range st.valid {
+		pages = append(pages, page)
+	}
+	sort.Ints(pages)
+	for _, page := range pages {
+		lpn := st.valid[page]
 		if p.cursorBlock < 0 || p.cursorPage >= f.geo.PagesPerBlock {
 			if len(p.freeBlocks) == 0 {
 				return nil, fmt.Errorf("ssd: plane %v wedged during GC", p.addr)

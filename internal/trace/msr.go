@@ -88,7 +88,7 @@ func ReadMSR(r io.Reader, pageBytes int, diskFilter int) ([]Request, error) {
 
 // timeFromTicks converts 100-ns filetime ticks to simulation time.
 func timeFromTicks(ticks int64) sim.Time {
-	return sim.Time(ticks * 100)
+	return sim.Time(ticks) * 100 * sim.Nanosecond
 }
 
 // Compact rewrites the request stream's logical addresses into a
