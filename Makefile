@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race bench lint fmt-check vet riflint staticcheck govulncheck
+.PHONY: all build test race bench bench-smoke lint fmt-check vet riflint staticcheck govulncheck
 
 all: build test
 
@@ -25,6 +25,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# bench-smoke compiles and runs every benchmark exactly once: it
+# catches benchmarks broken by refactors without paying for stable
+# timings. CI runs this on every change.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
 
 # lint is the network-free gate: formatting, go vet, and the
 # repository's own invariant suite (internal/analysis via

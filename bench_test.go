@@ -116,7 +116,7 @@ func BenchmarkFig06_OneVsZero(b *testing.B) {
 func BenchmarkFig07_Timeline(b *testing.B) {
 	var zero, one float64
 	for i := 0; i < b.N; i++ {
-		res, err := rif.Timelines()
+		res, err := rif.Timelines(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +138,7 @@ func BenchmarkFig07_Timeline(b *testing.B) {
 func BenchmarkFig08_RiFTimeline(b *testing.B) {
 	var rifUS float64
 	for i := 0; i < b.N; i++ {
-		res, err := rif.Timelines()
+		res, err := rif.Timelines(0)
 		if err != nil {
 			b.Fatal(err)
 		}

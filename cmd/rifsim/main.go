@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -35,18 +37,35 @@ func main() {
 	requests := flag.Int("requests", 3000, "host requests per simulation run")
 	seed := flag.Uint64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "simulate the full 2-TiB array instead of a shrunken one")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"parallel simulation workers for grid experiments (1 = sequential; the report is byte-identical either way)")
 	metrics := flag.String("metrics", "", "write per-run manifests (config, seed, clocks, final counters) as JSON to this file")
 	chromeTrace := flag.String("chrome-trace", "", "write sim-time spans as Chrome trace_event JSON to this file")
 	prom := flag.String("prom", "", "write per-run metrics in Prometheus text exposition format to this file")
 	jsonOut := flag.Bool("json", false, "print the per-run manifests as JSON on stdout and suppress the text report")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	p := core.DefaultRunParams()
 	p.Requests = *requests
 	p.Seed = *seed
 	p.Shrink = !*full
+	p.Workers = *workers
 	p.Tool = "rifsim"
 	p.Experiment = *fig
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rifsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rifsim:", err)
+			os.Exit(1)
+		}
+	}
 
 	var collect *obs.Collection
 	if *metrics != "" || *prom != "" || *jsonOut {
@@ -64,14 +83,39 @@ func main() {
 		out = io.Discard
 	}
 
-	if err := run(out, *fig, p); err != nil {
+	err := run(out, *fig, p)
+	if err == nil {
+		err = writeArtifacts(collect, tracer, *metrics, *chromeTrace, *prom, *jsonOut)
+	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if memErr := writeMemProfile(*memProfile); memErr != nil && err == nil {
+		err = memErr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rifsim:", err)
 		os.Exit(1)
 	}
-	if err := writeArtifacts(collect, tracer, *metrics, *chromeTrace, *prom, *jsonOut); err != nil {
-		fmt.Fprintln(os.Stderr, "rifsim:", err)
-		os.Exit(1)
+}
+
+// writeMemProfile snapshots the heap (after a GC, so the profile
+// reflects live steady-state allocations) into path; a "" path is a
+// no-op.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeArtifacts emits the machine-readable outputs after a
@@ -150,7 +194,7 @@ func run(out io.Writer, fig string, p core.RunParams) error {
 		return nil
 
 	case "7", "8":
-		results, err := core.Timelines()
+		results, err := core.Timelines(p.Workers)
 		if err != nil {
 			return err
 		}

@@ -47,7 +47,7 @@ func main() {
 
 	// And the end-to-end payoff: the Figs. 7/8 timelines.
 	fmt.Println("-- 256-KiB read timelines (Figs. 7/8) --")
-	timelines, err := rif.Timelines()
+	timelines, err := rif.Timelines(0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -96,7 +96,10 @@ func MaxChunkSpread(points []SimilarityPoint, chunkKiB int) float64 {
 type TimelineResult = core.TimelineResult
 
 // Timelines reproduces the 256-KiB-read timelines of Figs. 7 and 8.
-func Timelines() ([]TimelineResult, error) { return core.Timelines() }
+// workers bounds the pool sharding the per-scheme runs (0 means one
+// per CPU, 1 runs them sequentially); results are identical either
+// way.
+func Timelines(workers int) ([]TimelineResult, error) { return core.Timelines(workers) }
 
 // Overhead is the §VI-C hardware/energy study result.
 type Overhead = core.Overhead

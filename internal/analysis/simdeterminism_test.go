@@ -14,6 +14,13 @@ func TestSimDeterminismMapOrder(t *testing.T) {
 	runGolden(t, SimDeterminism, "riflint.test/maporder")
 }
 
+// A fleet-style worker pool (pre-indexed result slots, per-worker
+// seeded RNG streams) must pass clean; a pool whose workers draw the
+// process-global stream must be flagged.
+func TestSimDeterminismFleetPool(t *testing.T) {
+	runGolden(t, SimDeterminism, "riflint.test/fleetpool")
+}
+
 // The map-order check is scoped to the deep-sim packages: the same
 // fixture analyzed under a non-sim package path must stay silent.
 func TestMapOrderScopedToDeepSimPackages(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/fleet"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -42,25 +43,24 @@ var chunkConfigs = []struct {
 // and reports the bandwidth/accuracy trade the paper resolves at
 // 4 KiB.
 func AblateChunkSize(p RunParams) ([]ChunkAblationPoint, error) {
-	var out []ChunkAblationPoint
-	for _, cc := range chunkConfigs {
+	return fleet.Map(len(chunkConfigs), p.Workers, func(i int) (ChunkAblationPoint, error) {
+		cc := chunkConfigs[i]
 		cfg := p.buildConfig(ssd.RiF, 2000)
 		cfg.Timing.TPred = sim.Time(cc.tPred * float64(sim.Microsecond))
 		cfg.PredictionFloor = cc.floor
 		m, err := runConfig(p, cfg, "Ali124")
 		if err != nil {
-			return nil, err
+			return ChunkAblationPoint{}, err
 		}
 		_, _, uncor, _ := m.Channels.Fractions()
-		out = append(out, ChunkAblationPoint{
+		return ChunkAblationPoint{
 			ChunkKiB:  cc.kib,
 			TPredUS:   cc.tPred,
 			Floor:     cc.floor,
 			MBps:      m.Bandwidth(),
 			UncorFrac: uncor,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // BufferAblationPoint is one ECC buffer depth configuration.
@@ -74,18 +74,17 @@ type BufferAblationPoint struct {
 // the off-chip baseline, showing how much of the ECCWAIT loss deeper
 // buffers can (and cannot) recover.
 func AblateECCBuffer(p RunParams, scheme ssd.Scheme) ([]BufferAblationPoint, error) {
-	var out []BufferAblationPoint
-	for _, slots := range []int{1, 2, 4, 8, 16} {
+	depths := []int{1, 2, 4, 8, 16}
+	return fleet.Map(len(depths), p.Workers, func(i int) (BufferAblationPoint, error) {
 		cfg := p.buildConfig(scheme, 2000)
-		cfg.ECCBufferSlots = slots
+		cfg.ECCBufferSlots = depths[i]
 		m, err := runConfig(p, cfg, "Ali124")
 		if err != nil {
-			return nil, err
+			return BufferAblationPoint{}, err
 		}
 		_, _, _, wait := m.Channels.Fractions()
-		out = append(out, BufferAblationPoint{Slots: slots, MBps: m.Bandwidth(), ECCWaitFrac: wait})
-	}
-	return out, nil
+		return BufferAblationPoint{Slots: depths[i], MBps: m.Bandwidth(), ECCWaitFrac: wait}, nil
+	})
 }
 
 // AccuracyAblationPoint is one prediction-floor configuration.
@@ -99,18 +98,17 @@ type AccuracyAblationPoint struct {
 // prediction quality RiF's benefit actually needs (§IV-B's "
 // sufficiently high prediction accuracy" requirement).
 func AblateAccuracy(p RunParams) ([]AccuracyAblationPoint, error) {
-	var out []AccuracyAblationPoint
-	for _, floor := range []float64{0.80, 0.90, 0.95, 0.98, 0.995} {
+	floors := []float64{0.80, 0.90, 0.95, 0.98, 0.995}
+	return fleet.Map(len(floors), p.Workers, func(i int) (AccuracyAblationPoint, error) {
 		cfg := p.buildConfig(ssd.RiF, 2000)
-		cfg.PredictionFloor = floor
+		cfg.PredictionFloor = floors[i]
 		m, err := runConfig(p, cfg, "Ali124")
 		if err != nil {
-			return nil, err
+			return AccuracyAblationPoint{}, err
 		}
 		_, _, uncor, _ := m.Channels.Fractions()
-		out = append(out, AccuracyAblationPoint{Floor: floor, MBps: m.Bandwidth(), UncorFrac: uncor})
-	}
-	return out, nil
+		return AccuracyAblationPoint{Floor: floors[i], MBps: m.Bandwidth(), UncorFrac: uncor}, nil
+	})
 }
 
 // SecondCheckResult compares RiF with and without the footnote-4
@@ -124,18 +122,15 @@ type SecondCheckResult struct {
 // wear (3K P/E), where adjusted-VREF re-reads occasionally remain
 // above the capability.
 func AblateSecondCheck(p RunParams) (*SecondCheckResult, error) {
-	base := p.buildConfig(ssd.RiF, 3000)
-	without, err := runConfig(p, base, "Ali124")
+	runs, err := fleet.Map(2, p.Workers, func(i int) (*ssd.Metrics, error) {
+		cfg := p.buildConfig(ssd.RiF, 3000)
+		cfg.RiFSecondCheck = i == 1
+		return runConfig(p, cfg, "Ali124")
+	})
 	if err != nil {
 		return nil, err
 	}
-	withCfg := base
-	withCfg.RiFSecondCheck = true
-	with, err := runConfig(p, withCfg, "Ali124")
-	if err != nil {
-		return nil, err
-	}
-	return &SecondCheckResult{Without: *without, With: *with}, nil
+	return &SecondCheckResult{Without: *runs[0], With: *runs[1]}, nil
 }
 
 // SchedulingPoint is one die-policy configuration result.
@@ -153,25 +148,32 @@ type SchedulingPoint struct {
 // modern-controller optimization, and the study shows it is
 // complementary to — not a substitute for — RiF.
 func AblateDieScheduling(p RunParams, schemes []ssd.Scheme) ([]SchedulingPoint, error) {
-	var out []SchedulingPoint
+	type cellKey struct {
+		scheme ssd.Scheme
+		policy ssd.DiePolicy
+	}
+	var keys []cellKey
 	for _, scheme := range schemes {
 		for _, policy := range []ssd.DiePolicy{ssd.DieFIFO, ssd.DieReadPriority, ssd.DieSuspension} {
-			cfg := p.buildConfig(scheme, 2000)
-			cfg.DiePolicy = policy
-			m, err := runConfig(p, cfg, "Sys0")
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SchedulingPoint{
-				Policy:      policy,
-				Scheme:      scheme,
-				MBps:        m.Bandwidth(),
-				P99US:       m.ReadLatencies.Percentile(99),
-				Suspensions: m.Suspensions,
-			})
+			keys = append(keys, cellKey{scheme, policy})
 		}
 	}
-	return out, nil
+	return fleet.Map(len(keys), p.Workers, func(i int) (SchedulingPoint, error) {
+		k := keys[i]
+		cfg := p.buildConfig(k.scheme, 2000)
+		cfg.DiePolicy = k.policy
+		m, err := runConfig(p, cfg, "Sys0")
+		if err != nil {
+			return SchedulingPoint{}, err
+		}
+		return SchedulingPoint{
+			Policy:      k.policy,
+			Scheme:      k.scheme,
+			MBps:        m.Bandwidth(),
+			P99US:       m.ReadLatencies.Percentile(99),
+			Suspensions: m.Suspensions,
+		}, nil
+	})
 }
 
 // FormatScheduling renders the die-policy sweep.

@@ -27,6 +27,11 @@ type RunParams struct {
 	// fast; the channel/die topology (what the experiments measure)
 	// is unchanged. Zero means the full Table I array.
 	Shrink bool
+	// Workers bounds the worker pool the grid studies shard their
+	// independent cells across: 0 means one per CPU, 1 restores fully
+	// sequential runs. Results are written into pre-indexed slots, so
+	// the output is byte-identical for every value.
+	Workers int
 
 	// Obs, when non-nil, is attached to every simulation these params
 	// run (instruments are concurrency-safe, so grid cells may share

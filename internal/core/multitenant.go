@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/fleet"
 	"repro/internal/ssd"
 )
 
@@ -29,14 +30,14 @@ type MultiTenantResult struct {
 // benefit (the FlashShare-style concern the paper's intro cites).
 func MultiTenantStudy(p RunParams, schemes []ssd.Scheme, pe int) ([]MultiTenantResult, error) {
 	names := []string{"Ali124", "Ali2"}
-	var out []MultiTenantResult
-	for _, scheme := range schemes {
+	return fleet.Map(len(schemes), p.Workers, func(i int) (MultiTenantResult, error) {
+		scheme := schemes[i]
 		cfg := p.buildConfig(scheme, pe)
 		var queues []ssd.HostQueue
 		for _, name := range names {
 			w, err := p.workload(name)
 			if err != nil {
-				return nil, err
+				return MultiTenantResult{}, err
 			}
 			queues = append(queues, ssd.HostQueue{Workload: w, Depth: cfg.QueueDepth / 2})
 		}
@@ -44,11 +45,11 @@ func MultiTenantStudy(p RunParams, schemes []ssd.Scheme, pe int) ([]MultiTenantR
 		// requests; each queue's generator carries its own profile.
 		dev, err := ssd.New(cfg, queues[0].Workload)
 		if err != nil {
-			return nil, err
+			return MultiTenantResult{}, err
 		}
 		m, perQueue, err := dev.RunQueues(queues, p.Requests/2)
 		if err != nil {
-			return nil, err
+			return MultiTenantResult{}, err
 		}
 		res := MultiTenantResult{Scheme: scheme}
 		for qi, name := range names {
@@ -60,9 +61,8 @@ func MultiTenantStudy(p RunParams, schemes []ssd.Scheme, pe int) ([]MultiTenantR
 				P9999US:  q.ReadLatencies.Percentile(99.99),
 			})
 		}
-		out = append(out, res)
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
 // FormatMultiTenant renders the study.

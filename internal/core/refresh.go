@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/fleet"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 )
@@ -41,32 +42,32 @@ func AblateRefreshHorizon(p RunParams, scheme ssd.Scheme, pe int) ([]RefreshPoin
 		spec.FootprintPages = p.FootprintPages
 	}
 	usedBytes := float64(spec.FootprintPages) * 16 * 1024
-	var out []RefreshPoint
-	for _, horizon := range []float64{7, 14, 30, 60, 90} {
+	horizons := []float64{7, 14, 30, 60, 90}
+	return fleet.Map(len(horizons), p.Workers, func(i int) (RefreshPoint, error) {
+		horizon := horizons[i]
 		s := spec
 		s.MaxAgeDays = horizon
 		w, err := trace.NewGenerator(s, p.Seed)
 		if err != nil {
-			return nil, err
+			return RefreshPoint{}, err
 		}
 		cfg := p.buildConfig(scheme, pe)
 		dev, err := ssd.New(cfg, w)
 		if err != nil {
-			return nil, err
+			return RefreshPoint{}, err
 		}
 		m, err := dev.Run(p.Requests)
 		if err != nil {
-			return nil, err
+			return RefreshPoint{}, err
 		}
-		out = append(out, RefreshPoint{
+		return RefreshPoint{
 			HorizonDays:    horizon,
 			MBps:           m.Bandwidth(),
 			RetryRate:      m.RetryRate(),
 			RefreshTaxMBps: usedBytes / 1e6 / (horizon * 86400),
 			CyclesPerYear:  365 / horizon,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FormatRefresh renders the refresh sweep.

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
+	"repro/internal/fleet"
 	"repro/internal/ssd"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -127,8 +127,10 @@ func (t *BandwidthTable) Format(base ssd.Scheme, schemes []ssd.Scheme, workloads
 	return b.String()
 }
 
-// CompareSchemes runs the (schemes x workloads x peCycles) grid in
-// parallel — the engine behind Figs. 6 and 17.
+// CompareSchemes runs the (schemes x workloads x peCycles) grid — the
+// engine behind Figs. 6 and 17 — sharded across p.Workers workers.
+// Each cell lands in its pre-assigned slot, so the table is identical
+// whatever the scheduling.
 func CompareSchemes(p RunParams, schemes []ssd.Scheme, workloads []string, peCycles []int) (*BandwidthTable, error) {
 	type cellKey struct {
 		s  ssd.Scheme
@@ -143,29 +145,16 @@ func CompareSchemes(p RunParams, schemes []ssd.Scheme, workloads []string, peCyc
 			}
 		}
 	}
-	cells := make([]BandwidthCell, len(keys))
-	errs := make([]error, len(keys))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for i, k := range keys {
-		wg.Add(1)
-		go func(i int, k cellKey) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			m, err := RunOne(p, k.s, k.w, k.pe)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			cells[i] = BandwidthCell{Scheme: k.s, Workload: k.w, PECycles: k.pe, MBps: m.Bandwidth()}
-		}(i, k)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	cells, err := fleet.Map(len(keys), p.Workers, func(i int) (BandwidthCell, error) {
+		k := keys[i]
+		m, err := RunOne(p, k.s, k.w, k.pe)
 		if err != nil {
-			return nil, err
+			return BandwidthCell{}, err
 		}
+		return BandwidthCell{Scheme: k.s, Workload: k.w, PECycles: k.pe, MBps: m.Bandwidth()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &BandwidthTable{Cells: cells}, nil
 }
@@ -199,23 +188,31 @@ type UsageCell struct {
 // Fig18 measures the channel usage breakdown for the two most
 // read-intensive workloads across schemes and P/E counts.
 func Fig18(p RunParams, schemes []ssd.Scheme) ([]UsageCell, error) {
-	var out []UsageCell
+	type cellKey struct {
+		w  string
+		pe int
+		s  ssd.Scheme
+	}
+	var keys []cellKey
 	for _, w := range []string{"Ali121", "Ali124"} {
 		for _, pe := range PaperPECycles {
 			for _, s := range schemes {
-				m, err := RunOne(p, s, w, pe)
-				if err != nil {
-					return nil, err
-				}
-				idle, cor, uncor, wait := m.Channels.Fractions()
-				out = append(out, UsageCell{
-					Scheme: s, Workload: w, PECycles: pe,
-					Idle: idle, Cor: cor, Uncor: uncor, ECCWait: wait,
-				})
+				keys = append(keys, cellKey{w, pe, s})
 			}
 		}
 	}
-	return out, nil
+	return fleet.Map(len(keys), p.Workers, func(i int) (UsageCell, error) {
+		k := keys[i]
+		m, err := RunOne(p, k.s, k.w, k.pe)
+		if err != nil {
+			return UsageCell{}, err
+		}
+		idle, cor, uncor, wait := m.Channels.Fractions()
+		return UsageCell{
+			Scheme: k.s, Workload: k.w, PECycles: k.pe,
+			Idle: idle, Cor: cor, Uncor: uncor, ECCWait: wait,
+		}, nil
+	})
 }
 
 // FormatUsage renders Fig. 18-style rows.
@@ -243,25 +240,32 @@ type LatencyCurve struct {
 // Fig19 collects read-latency CDFs for Ali124 across schemes and P/E
 // counts.
 func Fig19(p RunParams, schemes []ssd.Scheme) ([]LatencyCurve, error) {
-	var out []LatencyCurve
+	type cellKey struct {
+		pe int
+		s  ssd.Scheme
+	}
+	var keys []cellKey
 	for _, pe := range PaperPECycles {
 		for _, s := range schemes {
-			m, err := RunOne(p, s, "Ali124", pe)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, LatencyCurve{
-				Scheme:   s,
-				PECycles: pe,
-				CDF:      m.ReadLatencies.CDF(64),
-				P50:      m.ReadLatencies.Percentile(50),
-				P99:      m.ReadLatencies.Percentile(99),
-				P999:     m.ReadLatencies.Percentile(99.9),
-				P9999:    m.ReadLatencies.Percentile(99.99),
-			})
+			keys = append(keys, cellKey{pe, s})
 		}
 	}
-	return out, nil
+	return fleet.Map(len(keys), p.Workers, func(i int) (LatencyCurve, error) {
+		k := keys[i]
+		m, err := RunOne(p, k.s, "Ali124", k.pe)
+		if err != nil {
+			return LatencyCurve{}, err
+		}
+		return LatencyCurve{
+			Scheme:   k.s,
+			PECycles: k.pe,
+			CDF:      m.ReadLatencies.CDF(64),
+			P50:      m.ReadLatencies.Percentile(50),
+			P99:      m.ReadLatencies.Percentile(99),
+			P999:     m.ReadLatencies.Percentile(99.9),
+			P9999:    m.ReadLatencies.Percentile(99.99),
+		}, nil
+	})
 }
 
 // FormatLatency renders the tail-latency table.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/fleet"
 	"repro/internal/nand"
 	"repro/internal/odear"
 	"repro/internal/sim"
@@ -50,21 +51,23 @@ type TimelineResult struct {
 
 // Timelines reproduces the 256-KiB-read execution timelines of
 // Figs. 7 and 8: SSDzero (252 us), SSDone (418 us) and RiF (292 us).
-func Timelines() ([]TimelineResult, error) {
+// The three scheme runs are independent, so they shard across the
+// worker pool (0 means one per CPU, 1 runs sequentially).
+func Timelines(workers int) ([]TimelineResult, error) {
 	paper := map[ssd.Scheme]float64{ssd.Zero: 252, ssd.One: 418, ssd.RiF: 292}
-	var out []TimelineResult
-	for _, scheme := range []ssd.Scheme{ssd.Zero, ssd.One, ssd.RiF} {
+	schemes := []ssd.Scheme{ssd.Zero, ssd.One, ssd.RiF}
+	return fleet.Map(len(schemes), workers, func(i int) (TimelineResult, error) {
+		scheme := schemes[i]
 		s, err := ssd.New(Fig7Config(scheme), fig7Workload{})
 		if err != nil {
-			return nil, err
+			return TimelineResult{}, err
 		}
 		m, err := s.Run(1)
 		if err != nil {
-			return nil, err
+			return TimelineResult{}, err
 		}
-		out = append(out, TimelineResult{Scheme: scheme, Total: m.Makespan, PaperUS: paper[scheme]})
-	}
-	return out, nil
+		return TimelineResult{Scheme: scheme, Total: m.Makespan, PaperUS: paper[scheme]}, nil
+	})
 }
 
 // TimelineGantt runs the Fig. 7/8 scenario with span recording and

@@ -1,0 +1,100 @@
+// Package fleet runs independent simulation cells across a bounded
+// worker pool with deterministic, index-ordered results.
+//
+// Every device-level study in this repository is a grid of independent
+// (scheme, workload, P/E, config) cells: each cell owns its own
+// sim.Engine, seeded RNG streams and obs registry, so cells may run
+// concurrently without sharing state. The pool hands out cell indices
+// and the caller writes each result into a pre-indexed slot, so the
+// assembled output — and therefore every report, manifest and golden —
+// is byte-identical to a sequential run regardless of how the
+// scheduler interleaves workers.
+//
+// Determinism contract: fn must not share mutable state between
+// indices (no common *rand.Rand, no common engine). The riflint
+// simdeterminism analyzer enforces the RNG half of this.
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n > 0 means exactly n
+// workers, anything else means one worker per available CPU
+// (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run invokes fn(i) for every i in [0, n) using at most workers
+// concurrent goroutines (Workers resolves the count). With one worker
+// the calls run inline on the calling goroutine, in index order —
+// exactly the historical sequential loops. With more, workers pull
+// indices from a shared counter; which worker runs which cell is
+// scheduler-dependent, but since results are keyed by index that
+// never shows in the output.
+//
+// Every index runs even when some fail; the returned error is the
+// lowest-index one, so the error surfaced is the same no matter how
+// the cells interleave.
+func Run(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) through Run and returns the results in
+// index order.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1} {
+		if got := Workers(n); got != want {
+			t.Errorf("Workers(%d) = %d, want GOMAXPROCS %d", n, got, want)
+		}
+	}
+}
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		err := Run(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunSingleWorkerIsInOrder(t *testing.T) {
+	var order []int
+	if err := Run(10, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order = %v", order)
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("cell 3")
+	errB := errors.New("cell 7")
+	for _, workers := range []int{1, 4} {
+		err := Run(10, workers, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: err = %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestRunZeroAndNegativeN(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		called := false
+		if err := Run(n, 4, func(int) error { called = true; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if called {
+			t.Errorf("n=%d: fn called", n)
+		}
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Map(50, workers, func(i int) (string, error) {
+			return fmt.Sprintf("cell-%02d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if want := fmt.Sprintf("cell-%02d", i); v != want {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, v, want)
+			}
+		}
+	}
+}
+
+func TestMapParallelEqualsSequential(t *testing.T) {
+	fn := func(i int) (int, error) { return i*i + 1, nil }
+	seq, err := Map(200, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(200, 8, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("results diverge at %d: %d vs %d", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapErrorDropsResults(t *testing.T) {
+	out, err := Map(5, 2, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("out=%v err=%v, want nil slice and error", out, err)
+	}
+}

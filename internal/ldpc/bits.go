@@ -226,9 +226,11 @@ func (b Bits) RotL(k int) Bits {
 	return out
 }
 
-// xorRotatedInto computes acc ^= rotl(seg, k) for t-bit vectors without
-// allocating. scratch must be a t-bit vector used as workspace.
-func xorRotatedInto(acc, seg, scratch Bits, k int) {
+// xorRotatedInto computes acc ^= rotl(seg, k) for t-bit vectors
+// without allocating. scratch and tmp must be t-bit vectors used as
+// workspace; callers allocate them once and reuse across every block
+// of a syndrome or encode pass.
+func xorRotatedInto(acc, seg, scratch, tmp Bits, k int) {
 	t := seg.n
 	k = ((k % t) + t) % t
 	if k == 0 {
@@ -237,8 +239,7 @@ func xorRotatedInto(acc, seg, scratch Bits, k int) {
 	}
 	scratch.Zero()
 	extractBits(scratch.words, seg.words, k, t-k)
-	tmp := NewBits(k)
-	extractBits(tmp.words, seg.words, 0, k)
+	extractBits(tmp.words[:(k+63)/64], seg.words, 0, k)
 	depositBits(scratch.words, tmp.words, t-k, k)
 	scratch.maskTail()
 	acc.XorInPlace(scratch)

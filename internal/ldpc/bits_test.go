@@ -163,7 +163,8 @@ func TestXorRotatedIntoMatchesRotL(t *testing.T) {
 		want := acc.Clone()
 		want.XorInPlace(seg.RotL(k))
 		scratch := NewBits(size)
-		xorRotatedInto(acc, seg, scratch, k)
+		tmp := NewBits(size)
+		xorRotatedInto(acc, seg, scratch, tmp, k)
 		if !acc.Equal(want) {
 			t.Fatalf("size=%d k=%d: xorRotatedInto != RotL+Xor", size, k)
 		}

@@ -14,7 +14,10 @@ type Result struct {
 	// rounds executed, in [1, max]. The paper maps this to tECC.
 	Iterations int
 	// Word is the corrected codeword (equal to the input when OK is
-	// false and no useful correction was found).
+	// false and no useful correction was found). For MinSumDecoder it
+	// aliases decoder-owned scratch: it is valid until the next
+	// Decode/DecodeSoft call on the same decoder — Clone it to retain
+	// it longer.
 	Word Bits
 }
 
@@ -31,10 +34,14 @@ type MinSumDecoder struct {
 	checkOff []int32
 	varEdges [][]int32
 
-	// Per-decode scratch, reused across calls. The decoder is NOT safe
-	// for concurrent use; create one per goroutine.
+	// Per-decode scratch, reused across calls so steady-state decoding
+	// allocates nothing. The decoder is NOT safe for concurrent use;
+	// create one per goroutine.
 	ctv   []float32
 	total []float32
+	llrs  []float32 // hard-decision LLRs (Decode)
+	work  Bits      // decision word; Result.Word aliases it
+	syn   *synWS    // parity-check workspace
 }
 
 // NewMinSumDecoder builds a decoder for the code with the given
@@ -64,6 +71,9 @@ func NewMinSumDecoder(code *Code, maxIter int) *MinSumDecoder {
 		varEdges: varEdges,
 		ctv:      make([]float32, len(edgeVar)),
 		total:    make([]float32, code.N()),
+		llrs:     make([]float32, code.N()),
+		work:     NewBits(code.N()),
+		syn:      newSynWS(code.T),
 	}
 }
 
@@ -71,22 +81,22 @@ func NewMinSumDecoder(code *Code, maxIter int) *MinSumDecoder {
 func (d *MinSumDecoder) MaxIterations() int { return d.maxIter }
 
 // Decode attempts to correct the received hard-decision codeword.
-// The input is not modified.
+// The input is not modified. The Result's Word aliases decoder
+// scratch (see Result.Word).
 func (d *MinSumDecoder) Decode(received Bits) Result {
 	n := d.code.N()
 	if received.Len() != n {
 		panic("ldpc: received length mismatch")
 	}
 	// Hard input: the sign carries all the information.
-	llrs := make([]float32, n)
 	for v := 0; v < n; v++ {
 		if received.Get(v) {
-			llrs[v] = -1
+			d.llrs[v] = -1
 		} else {
-			llrs[v] = 1
+			d.llrs[v] = 1
 		}
 	}
-	return d.DecodeSoft(llrs)
+	return d.DecodeSoft(d.llrs)
 }
 
 // DecodeSoft attempts to correct a codeword from per-bit channel
@@ -102,7 +112,8 @@ func (d *MinSumDecoder) DecodeSoft(llrs []float32) Result {
 	for i := range d.ctv {
 		d.ctv[i] = 0
 	}
-	work := NewBits(n)
+	work := d.work
+	work.Zero()
 
 	for iter := 1; iter <= d.maxIter; iter++ {
 		// Variable update: total belief per bit.
@@ -170,13 +181,10 @@ func (d *MinSumDecoder) DecodeSoft(llrs []float32) Result {
 }
 
 func (d *MinSumDecoder) satisfied(cw Bits) bool {
-	// Cheap full-syndrome check via the circulant structure.
-	for _, w := range d.code.Syndrome(cw).words {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
+	// Cheap full-syndrome check via the circulant structure, using the
+	// decoder's workspace and bailing at the first unsatisfied block
+	// row.
+	return d.code.syndromeIsZero(cw, d.syn)
 }
 
 // BitFlipDecoder is a Gallager-style hard-decision bit-flipping
@@ -185,6 +193,11 @@ func (d *MinSumDecoder) satisfied(cw Bits) bool {
 type BitFlipDecoder struct {
 	code    *Code
 	maxIter int
+
+	// Per-decode scratch, reused across calls; not concurrency-safe.
+	unsat []uint8
+	syn   Bits
+	ws    *synWS
 }
 
 // NewBitFlipDecoder builds a bit-flipping decoder (0 means
@@ -193,17 +206,25 @@ func NewBitFlipDecoder(code *Code, maxIter int) *BitFlipDecoder {
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIterations
 	}
-	return &BitFlipDecoder{code: code, maxIter: maxIter}
+	return &BitFlipDecoder{
+		code:    code,
+		maxIter: maxIter,
+		unsat:   make([]uint8, code.N()),
+		syn:     NewBits(code.M()),
+		ws:      newSynWS(code.T),
+	}
 }
 
 // Decode attempts to correct the received word by flipping bits that
-// participate in a majority of unsatisfied checks.
+// participate in a majority of unsatisfied checks. The Result's Word
+// is an independent copy.
 func (d *BitFlipDecoder) Decode(received Bits) Result {
 	checkVars, varChecks := d.code.adjacency()
 	work := received.Clone()
-	unsat := make([]uint8, d.code.N())
+	unsat := d.unsat
 	for iter := 1; iter <= d.maxIter; iter++ {
-		syn := d.code.Syndrome(work)
+		syn := d.syn
+		d.code.syndromeInto(syn, work, d.ws)
 		if syn.PopCount() == 0 {
 			return Result{OK: true, Iterations: iter, Word: work}
 		}
@@ -240,7 +261,7 @@ func (d *BitFlipDecoder) Decode(received Bits) Result {
 			work.Flip(best)
 		}
 	}
-	if d.code.SyndromeWeight(work) == 0 {
+	if d.code.syndromeIsZero(work, d.ws) {
 		return Result{OK: true, Iterations: d.maxIter, Word: work}
 	}
 	return Result{OK: false, Iterations: d.maxIter, Word: work}

@@ -20,6 +20,7 @@ func (cd *Code) Encode(data Bits) Bits {
 	rowSyn := NewBits(cd.T)
 	seg := NewBits(cd.T)
 	scratch := NewBits(cd.T)
+	tmp := NewBits(cd.T)
 	for i := 0; i < cd.R; i++ {
 		rowSyn.Zero()
 		for j := 0; j < dataCols; j++ {
@@ -28,7 +29,7 @@ func (cd *Code) Encode(data Bits) Bits {
 				continue
 			}
 			data.Segment(seg, j*cd.T, cd.T)
-			xorRotatedInto(rowSyn, seg, scratch, sh)
+			xorRotatedInto(rowSyn, seg, scratch, tmp, sh)
 		}
 		acc.XorInPlace(rowSyn)
 		cw.SetSegment(acc, (dataCols+i)*cd.T, cd.T)

@@ -90,29 +90,65 @@ func (cd *Code) Rate() float64 { return float64(cd.K()) / float64(cd.N()) }
 // DataBlocks reports the number of data block columns.
 func (cd *Code) DataBlocks() int { return cd.C - cd.R }
 
-// Syndrome computes S = H·cw over GF(2), one bit per parity check.
-// Block row i contributes S_i = Σ_j rotl(seg_j, shift[i][j]).
-func (cd *Code) Syndrome(cw Bits) Bits {
+// synWS holds the block-sized workspace a syndrome pass needs, so
+// repeated computations (decoder inner loops) allocate nothing.
+type synWS struct {
+	acc, seg, scratch, tmp Bits
+}
+
+func newSynWS(t int) *synWS {
+	return &synWS{acc: NewBits(t), seg: NewBits(t), scratch: NewBits(t), tmp: NewBits(t)}
+}
+
+// blockRowSyndromeInto computes block row i's syndrome segment into
+// ws.acc: S_i = Σ_j rotl(seg_j, shift[i][j]).
+func (cd *Code) blockRowSyndromeInto(cw Bits, i int, ws *synWS) {
+	ws.acc.Zero()
+	for j := 0; j < cd.C; j++ {
+		sh := cd.Shifts[i][j]
+		if sh == ZeroBlock {
+			continue
+		}
+		cw.Segment(ws.seg, j*cd.T, cd.T)
+		xorRotatedInto(ws.acc, ws.seg, ws.scratch, ws.tmp, sh)
+	}
+}
+
+// syndromeInto computes S = H·cw over GF(2) into s (an M-bit vector)
+// using the caller's workspace.
+func (cd *Code) syndromeInto(s, cw Bits, ws *synWS) {
 	if cw.Len() != cd.N() {
 		panic(fmt.Sprintf("ldpc: codeword length %d, want %d", cw.Len(), cd.N()))
 	}
-	s := NewBits(cd.M())
-	acc := NewBits(cd.T)
-	seg := NewBits(cd.T)
-	scratch := NewBits(cd.T)
 	for i := 0; i < cd.R; i++ {
-		acc.Zero()
-		for j := 0; j < cd.C; j++ {
-			sh := cd.Shifts[i][j]
-			if sh == ZeroBlock {
-				continue
-			}
-			cw.Segment(seg, j*cd.T, cd.T)
-			xorRotatedInto(acc, seg, scratch, sh)
-		}
-		s.SetSegment(acc, i*cd.T, cd.T)
+		cd.blockRowSyndromeInto(cw, i, ws)
+		s.SetSegment(ws.acc, i*cd.T, cd.T)
 	}
+}
+
+// Syndrome computes S = H·cw over GF(2), one bit per parity check.
+// Block row i contributes S_i = Σ_j rotl(seg_j, shift[i][j]).
+func (cd *Code) Syndrome(cw Bits) Bits {
+	s := NewBits(cd.M())
+	cd.syndromeInto(s, cw, newSynWS(cd.T))
 	return s
+}
+
+// syndromeIsZero reports whether H·cw = 0, short-circuiting on the
+// first nonzero block row; it allocates nothing.
+func (cd *Code) syndromeIsZero(cw Bits, ws *synWS) bool {
+	if cw.Len() != cd.N() {
+		panic(fmt.Sprintf("ldpc: codeword length %d, want %d", cw.Len(), cd.N()))
+	}
+	for i := 0; i < cd.R; i++ {
+		cd.blockRowSyndromeInto(cw, i, ws)
+		for _, w := range ws.acc.words {
+			if w != 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // SyndromeWeight reports the Hamming weight of the full syndrome
@@ -129,18 +165,9 @@ func (cd *Code) FirstRowSyndromeWeight(cw Bits) int {
 	if cw.Len() != cd.N() {
 		panic(fmt.Sprintf("ldpc: codeword length %d, want %d", cw.Len(), cd.N()))
 	}
-	acc := NewBits(cd.T)
-	seg := NewBits(cd.T)
-	scratch := NewBits(cd.T)
-	for j := 0; j < cd.C; j++ {
-		sh := cd.Shifts[0][j]
-		if sh == ZeroBlock {
-			continue
-		}
-		cw.Segment(seg, j*cd.T, cd.T)
-		xorRotatedInto(acc, seg, scratch, sh)
-	}
-	return acc.PopCount()
+	ws := newSynWS(cd.T)
+	cd.blockRowSyndromeInto(cw, 0, ws)
+	return ws.acc.PopCount()
 }
 
 // adjacency builds (and caches) the sparse Tanner-graph adjacency.

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The eager-cancel regression suite: Cancel must remove events from
+// the heap immediately (so Pending is exact and long-deadline timeouts
+// don't pin memory), recycled event structs must not let stale
+// EventIDs cancel their successors, and the heap must stay ordered
+// under arbitrary interleavings of schedule/cancel.
+
+func TestCancelDropsPendingImmediately(t *testing.T) {
+	e := NewEngine()
+	var ids []EventID
+	for i := Time(1); i <= 8; i++ {
+		ids = append(ids, e.At(i*10, func() {}))
+	}
+	if e.Pending() != 8 {
+		t.Fatalf("pending = %d, want 8", e.Pending())
+	}
+	// A long-deadline timeout canceled early must leave the heap at
+	// once, not sit as a tombstone until its timestamp pops.
+	e.Cancel(ids[7])
+	if e.Pending() != 7 {
+		t.Fatalf("pending after cancel = %d, want 7", e.Pending())
+	}
+	e.Cancel(ids[0]) // heap root
+	e.Cancel(ids[3]) // interior node
+	if e.Pending() != 5 {
+		t.Fatalf("pending after three cancels = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if e.Processed() != 5 {
+		t.Fatalf("processed = %d, want 5", e.Processed())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending after run = %d, want 0", e.Pending())
+	}
+}
+
+func TestCancelFromHandlerDropsPending(t *testing.T) {
+	e := NewEngine()
+	victimRan := false
+	victim := e.At(100, func() { victimRan = true })
+	e.At(10, func() {
+		e.Cancel(victim)
+		if e.Pending() != 0 {
+			t.Errorf("pending inside handler = %d, want 0", e.Pending())
+		}
+	})
+	e.Run()
+	if victimRan {
+		t.Error("canceled event ran")
+	}
+}
+
+// A stale EventID — its event already fired and the struct was reused
+// for a newer event — must not cancel the newer event.
+func TestStaleIDDoesNotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(1, func() {})
+	e.Run() // fires; the event struct goes to the free list
+
+	ran := false
+	e.At(2, func() { ran = true }) // reuses the recycled struct
+	e.Cancel(stale)                // must be a no-op
+	if e.Pending() != 1 {
+		t.Fatalf("stale cancel removed a live event: pending = %d", e.Pending())
+	}
+	e.Run()
+	if !ran {
+		t.Error("recycled event did not run after stale cancel")
+	}
+}
+
+func TestCancelCanceledIDTwiceIsNoOp(t *testing.T) {
+	e := NewEngine()
+	id := e.At(5, func() {})
+	keep := e.At(6, func() {})
+	e.Cancel(id)
+	e.Cancel(id) // second cancel of the same ID
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	_ = keep
+}
+
+func TestZeroEventIDCancelIsNoOp(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.Cancel(EventID{})
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+// Property: under random interleavings of schedules and cancels, the
+// surviving events run exactly once, in (time, FIFO) order, and
+// Pending tracks the live count exactly.
+func TestCancelOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xc0ffee, 17))
+	for trial := 0; trial < 200; trial++ {
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		live := map[int]bool{}
+		var ids []EventID
+		n := 1 + rng.IntN(64)
+		for i := 0; i < n; i++ {
+			at := Time(rng.IntN(50))
+			i := i
+			ids = append(ids, e.At(at, func() { fired = append(fired, rec{at, i}) }))
+			live[i] = true
+			// Cancel a random earlier event some of the time.
+			if rng.IntN(3) == 0 {
+				victim := rng.IntN(len(ids))
+				e.Cancel(ids[victim])
+				delete(live, victim)
+			}
+			if e.Pending() != len(live) {
+				t.Fatalf("trial %d: pending = %d, live = %d", trial, e.Pending(), len(live))
+			}
+		}
+		e.Run()
+		if len(fired) != len(live) {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(fired), len(live))
+		}
+		for _, f := range fired {
+			if !live[f.seq] {
+				t.Fatalf("trial %d: canceled event %d fired", trial, f.seq)
+			}
+		}
+		for i := 1; i < len(fired); i++ {
+			a, b := fired[i-1], fired[i]
+			if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+				t.Fatalf("trial %d: order violated: %+v before %+v", trial, a, b)
+			}
+		}
+	}
+}
+
+// The steady-state schedule/fire cycle must not allocate: events come
+// from the free list and EventIDs are values.
+func TestEngineHotPathZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the free list and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			e.After(Time(i), fn)
+		}
+		id := e.After(1000, fn)
+		e.Cancel(id)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state At/After/Cancel/Run allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -41,58 +40,37 @@ func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Microseconds()) }
 // reaches the event's timestamp.
 type Handler func()
 
-// event is a single entry in the calendar queue.
+// event is a single entry in the calendar queue. Fired and canceled
+// events return to the engine's free list and are reused by later
+// At/After calls, so the steady-state hot path allocates nothing; the
+// generation counter keeps recycled EventIDs from aliasing.
 type event struct {
-	at       Time
-	seq      uint64 // FIFO tiebreak for events at the same instant
-	fn       Handler
-	canceled bool
-	index    int // heap index, maintained by eventHeap
+	at    Time
+	seq   uint64 // FIFO tiebreak for events at the same instant
+	fn    Handler
+	gen   uint32 // bumped on recycle; stale EventIDs fail the match
+	index int32  // heap position, -1 when not queued
 }
 
-// EventID identifies a scheduled event so it can be canceled.
-type EventID struct{ ev *event }
-
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// EventID identifies a scheduled event so it can be canceled. The
+// zero value is valid and cancels nothing.
+type EventID struct {
+	ev  *event
+	gen uint32
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value
 // is not usable; create one with NewEngine.
+//
+// The calendar queue is a 4-ary min-heap over concrete *event values:
+// flatter than a binary heap (half the levels, so fewer cache-missing
+// compare/swap rounds on the sift-down path that dominates pops) and
+// free of the interface boxing container/heap imposes.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []*event
+	free    []*event
 	stopped bool
 	// processed counts events executed, for diagnostics and loop guards.
 	processed uint64
@@ -112,8 +90,8 @@ func (e *Engine) Now() Time { return e.now }
 // Processed reports how many events have executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending reports how many events are waiting (including canceled ones
-// that have not yet been discarded).
+// Pending reports how many events are waiting. Canceled events leave
+// the queue immediately, so this is an exact count.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // MaxPending reports the deepest the event heap has ever been.
@@ -125,13 +103,23 @@ func (e *Engine) At(at Time, fn Handler) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	if len(e.queue) > e.maxPending {
 		e.maxPending = len(e.queue)
 	}
-	return EventID{ev}
+	return EventID{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -142,12 +130,25 @@ func (e *Engine) After(d Time, fn Handler) EventID {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel marks a scheduled event so it will not run. Canceling an
-// already-fired or already-canceled event is a no-op.
+// Cancel removes a scheduled event from the queue immediately, so it
+// neither runs nor occupies heap space until its timestamp. Canceling
+// an already-fired or already-canceled event is a no-op.
 func (e *Engine) Cancel(id EventID) {
-	if id.ev != nil {
-		id.ev.canceled = true
+	ev := id.ev
+	if ev == nil || ev.gen != id.gen || ev.index < 0 {
+		return
 	}
+	e.remove(int(ev.index))
+	e.recycle(ev)
+}
+
+// recycle returns a dequeued event to the free list. The generation
+// bump invalidates any EventID still pointing at it, and dropping the
+// handler releases whatever the closure captured.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Stop makes Run return after the current event completes.
@@ -168,29 +169,133 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			e.now = deadline
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		if next.canceled {
-			continue
-		}
+		e.popRoot()
 		e.now = next.at
 		e.processed++
-		next.fn()
+		fn := next.fn
+		e.recycle(next)
+		fn()
 	}
 	return e.now
 }
 
-// Step executes exactly one non-canceled event, if any, and reports
-// whether an event ran. Useful for unit tests that single-step a model.
+// Step executes exactly one event, if any, and reports whether an
+// event ran. Useful for unit tests that single-step a model.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*event)
-		if next.canceled {
-			continue
-		}
-		e.now = next.at
-		e.processed++
-		next.fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	next := e.queue[0]
+	e.popRoot()
+	e.now = next.at
+	e.processed++
+	fn := next.fn
+	e.recycle(next)
+	fn()
+	return true
+}
+
+// The 4-ary heap. Children of node i sit at 4i+1..4i+4, the parent at
+// (i-1)/4. Order is (at, seq): earliest first, FIFO within an instant.
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and restores the heap invariant.
+func (e *Engine) push(ev *event) {
+	e.queue = append(e.queue, ev)
+	ev.index = int32(len(e.queue) - 1)
+	e.siftUp(len(e.queue) - 1)
+}
+
+// popRoot removes the minimum event (queue[0]), marking it dequeued.
+func (e *Engine) popRoot() {
+	q := e.queue
+	n := len(q) - 1
+	q[0].index = -1
+	if n > 0 {
+		q[0] = q[n]
+		q[0].index = 0
+	}
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+}
+
+// remove deletes the event at heap position i.
+func (e *Engine) remove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	q[i].index = -1
+	if i == n {
+		q[n] = nil
+		e.queue = q[:n]
+		return
+	}
+	moved := q[n]
+	q[i] = moved
+	q[n] = nil
+	e.queue = q[:n]
+	moved.index = int32(i)
+	if !e.siftDown(i) {
+		e.siftUp(i)
+	}
+}
+
+// siftUp moves queue[i] toward the root until its parent is no later.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = int32(i)
+		i = parent
+	}
+	q[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown moves queue[i] toward the leaves, swapping with its
+// earliest child while that child is earlier. It reports whether the
+// event moved.
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	start := i
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(q[c], q[best]) {
+				best = c
+			}
+		}
+		if !eventLess(q[best], ev) {
+			break
+		}
+		q[i] = q[best]
+		q[i].index = int32(i)
+		i = best
+	}
+	q[i] = ev
+	ev.index = int32(i)
+	return i != start
 }

@@ -105,7 +105,7 @@ func TestPublicRetentionStudy(t *testing.T) {
 }
 
 func TestPublicTimelines(t *testing.T) {
-	res, err := rif.Timelines()
+	res, err := rif.Timelines(0)
 	if err != nil || len(res) != 3 {
 		t.Fatalf("timelines: %v %v", res, err)
 	}
