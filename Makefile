@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race bench bench-smoke lint fmt-check vet riflint staticcheck govulncheck
+.PHONY: all build test race bench bench-smoke chaos-smoke lint fmt-check vet riflint staticcheck govulncheck
 
 all: build test
 
@@ -31,6 +31,13 @@ bench:
 # timings. CI runs this on every change.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
+
+# chaos-smoke drives the fault-injection sweep end to end under the
+# race detector at a tiny sizing: every fault class fires across the
+# rate x scheme grid and every cell must degrade gracefully (no
+# panic, no race). CI runs this on every change.
+chaos-smoke:
+	$(GO) run -race ./cmd/rifsim -fig chaos -requests 120 -workers 2 -metrics /dev/null
 
 # lint is the network-free gate: formatting, go vet, and the
 # repository's own invariant suite (internal/analysis via

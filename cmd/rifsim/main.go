@@ -11,21 +11,29 @@
 //	rifsim -fig 6 -json                 # manifests as JSON on stdout, no text report
 //	rifsim -fig 17 -prom metrics.prom   # Prometheus text exposition
 //	rifsim -fig overhead
+//	rifsim -fig chaos -timeout 30s      # fault-injection sweep; timeout/^C cancel
+//	                                    # cleanly and flush partial manifests
 //
 // Run rifsim -fig help (or any unknown figure) to list every
 // experiment and ablation.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/ssd"
@@ -45,6 +53,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the per-run manifests as JSON on stdout and suppress the text report")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+	timeout := flag.Duration("timeout", 0,
+		"stop launching new grid cells after this wall-clock duration (0 = no limit); completed runs are flushed as partial artifacts")
 	flag.Parse()
 
 	p := core.DefaultRunParams()
@@ -54,6 +64,7 @@ func main() {
 	p.Workers = *workers
 	p.Tool = "rifsim"
 	p.Experiment = *fig
+	p.Stop = cancelHook(*timeout)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -84,6 +95,13 @@ func main() {
 	}
 
 	err := run(out, *fig, p)
+	if errors.Is(err, fleet.ErrStopped) {
+		// Cancellation (timeout or ^C) is a clean exit: the completed
+		// cells' manifests are flushed, marked partial.
+		collect.SetPartial(true)
+		fmt.Fprintln(os.Stderr, "rifsim: stopped before the grid completed; flushing partial artifacts")
+		err = nil
+	}
 	if err == nil {
 		err = writeArtifacts(collect, tracer, *metrics, *chromeTrace, *prom, *jsonOut)
 	}
@@ -97,6 +115,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rifsim:", err)
 		os.Exit(1)
 	}
+}
+
+// cancelHook arms the run's cancellation sources — an optional
+// wall-clock timeout and SIGINT/SIGTERM — and returns the stop
+// predicate the grids poll between cells. All of this is host-side
+// control flow: it decides when to stop launching simulations and
+// never feeds a value into one, so sim determinism is unaffected (a
+// cancelled run's completed cells match the full run's).
+func cancelHook(timeout time.Duration) func() bool {
+	var stopped atomic.Bool
+	if timeout > 0 {
+		//riflint:allow wallclock -- host-side cancellation timer, never feeds the sim
+		time.AfterFunc(timeout, func() { stopped.Store(true) })
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		stopped.Store(true)
+		// Restore default handling so a second ^C force-kills.
+		signal.Stop(sigc)
+	}()
+	return stopped.Load
 }
 
 // writeMemProfile snapshots the heap (after a GC, so the profile
@@ -166,7 +207,7 @@ func validFigs() []string {
 		"6", "7", "8", "17", "18", "19", "overhead",
 		"ablate-chunk", "ablate-buffer", "ablate-accuracy",
 		"ablate-scheduling", "ablate-secondcheck",
-		"refresh", "tenants",
+		"refresh", "tenants", "chaos",
 	}
 }
 
@@ -328,6 +369,15 @@ func run(out io.Writer, fig string, p core.RunParams) error {
 		}
 		fmt.Fprintln(out, "Study — multi-queue tenant isolation at 2K P/E")
 		fmt.Fprint(out, core.FormatMultiTenant(results))
+		return nil
+
+	case "chaos":
+		pts, err := core.ChaosStudy(p, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Study — chaos sweep: every fault class injected, Ali124 at 2K P/E")
+		fmt.Fprint(out, core.FormatChaos(pts))
 		return nil
 
 	case "ablate-secondcheck":

@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+// TestFaultInjectorFixture runs seedflow and simdeterminism together
+// over the fault-injector fixture: the buggy injector (unseeded
+// streams, wall-clock seeding, global rand, map-order effects) is
+// fully flagged, while the clean one — written in the internal/faults
+// idiom — produces no diagnostics.
+func TestFaultInjectorFixture(t *testing.T) {
+	runGoldenSuite(t, []*Analyzer{SeedFlow, SimDeterminism}, "riflint.test/faultinject")
+}

@@ -173,6 +173,15 @@ func fixtureFiles(dir string) ([]string, error) {
 // runGolden checks one analyzer against one fixture package.
 func runGolden(t *testing.T, a *Analyzer, pkgPath string) {
 	t.Helper()
+	runGoldenSuite(t, []*Analyzer{a}, pkgPath)
+}
+
+// runGoldenSuite checks several analyzers together against one
+// fixture package, for fixtures whose expectations span checkers
+// (e.g. a fault injector that trips both seedflow and
+// simdeterminism).
+func runGoldenSuite(t *testing.T, as []*Analyzer, pkgPath string) {
+	t.Helper()
 	root, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +191,7 @@ func runGolden(t *testing.T, a *Analyzer, pkgPath string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
 	}
-	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	diags := Run([]*Package{pkg}, as)
 
 	wants, err := parseWants(filepath.Join(root, pkgPath))
 	if err != nil {

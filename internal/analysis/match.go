@@ -19,15 +19,16 @@ const (
 // maporder check. Fixture packages (riflint.test/...) opt in so the
 // golden tests exercise the same code path.
 var deepSimPackages = map[string]bool{
-	"repro/internal/sim":   true,
-	"repro/internal/ssd":   true,
-	"repro/internal/nand":  true,
-	"repro/internal/chip":  true,
-	"repro/internal/odear": true,
-	"repro/internal/ecc":   true,
-	"repro/internal/ldpc":  true,
-	"repro/internal/nvme":  true,
-	"repro/internal/core":  true,
+	"repro/internal/sim":    true,
+	"repro/internal/ssd":    true,
+	"repro/internal/nand":   true,
+	"repro/internal/chip":   true,
+	"repro/internal/odear":  true,
+	"repro/internal/ecc":    true,
+	"repro/internal/ldpc":   true,
+	"repro/internal/nvme":   true,
+	"repro/internal/core":   true,
+	"repro/internal/faults": true,
 }
 
 func inDeepSimPackage(path string) bool {

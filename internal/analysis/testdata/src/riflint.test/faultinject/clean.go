@@ -1,0 +1,43 @@
+// The same injector written the way internal/faults does it: every
+// stream derives from the run seed, static faults come from a pure
+// hash, and class iteration is order-free. No diagnostics expected.
+package faultinject
+
+import "math/rand/v2"
+
+const senseStream = 0x201
+
+type cleanInjector struct {
+	seed  uint64
+	sense *rand.Rand
+}
+
+func newClean(seed uint64) *cleanInjector {
+	return &cleanInjector{
+		seed:  seed,
+		sense: rand.New(rand.NewPCG(seed, senseStream)),
+	}
+}
+
+// mix is a splitmix64-style hash: static topology faults are a pure
+// function of (seed, id), independent of query order.
+func (inj *cleanInjector) mix(id uint64) uint64 {
+	z := inj.seed + id*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (inj *cleanInjector) blockStuck(id int, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return float64(inj.mix(uint64(id)))/(1<<64) < rate
+}
+
+func (inj *cleanInjector) senseFault(rate float64) bool {
+	if rate <= 0 {
+		return false // rate zero must not draw: runs stay byte-identical
+	}
+	return inj.sense.Float64() < rate
+}

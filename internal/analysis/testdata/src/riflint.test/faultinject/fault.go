@@ -1,0 +1,46 @@
+// Golden fixture: a fault injector written the wrong way. Every
+// mistake here is one the real internal/faults package must never
+// make — unseeded RNG streams, wall-clock seeding, global rand draws
+// and order-sensitive map iteration all break the "same seed + same
+// fault config = byte-identical run" contract.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+type injector struct {
+	rng   *rand.Rand
+	rates map[string]float64
+}
+
+func badHardcodedSeed() *injector {
+	return &injector{rng: rand.New(rand.NewPCG(1234, 0))} // want `hard-coded seed 1234 in rand\.NewPCG`
+}
+
+func badWallClockSeed() *injector {
+	seed := uint64(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+	return &injector{rng: rand.New(rand.NewPCG(seed, 0))}
+}
+
+func (inj *injector) badGlobalDraw(rate float64) bool {
+	return rand.Float64() < rate // want `math/rand/v2\.Float64 draws from the process-global random stream`
+}
+
+func (inj *injector) badClassOrder() []string {
+	var fired []string
+	for class, rate := range inj.rates { // want `appending to "fired" inside a map range`
+		if inj.rng.Float64() < rate {
+			fired = append(fired, class)
+		}
+	}
+	return fired
+}
+
+func (inj *injector) badReport() {
+	for class, rate := range inj.rates { // want `calling fmt\.Printf inside a map range`
+		fmt.Printf("%s=%g\n", class, rate)
+	}
+}

@@ -43,7 +43,7 @@ var chunkConfigs = []struct {
 // and reports the bandwidth/accuracy trade the paper resolves at
 // 4 KiB.
 func AblateChunkSize(p RunParams) ([]ChunkAblationPoint, error) {
-	return fleet.Map(len(chunkConfigs), p.Workers, func(i int) (ChunkAblationPoint, error) {
+	return fleet.MapStop(len(chunkConfigs), p.Workers, p.Stop, func(i int) (ChunkAblationPoint, error) {
 		cc := chunkConfigs[i]
 		cfg := p.buildConfig(ssd.RiF, 2000)
 		cfg.Timing.TPred = sim.Time(cc.tPred * float64(sim.Microsecond))
@@ -75,7 +75,7 @@ type BufferAblationPoint struct {
 // buffers can (and cannot) recover.
 func AblateECCBuffer(p RunParams, scheme ssd.Scheme) ([]BufferAblationPoint, error) {
 	depths := []int{1, 2, 4, 8, 16}
-	return fleet.Map(len(depths), p.Workers, func(i int) (BufferAblationPoint, error) {
+	return fleet.MapStop(len(depths), p.Workers, p.Stop, func(i int) (BufferAblationPoint, error) {
 		cfg := p.buildConfig(scheme, 2000)
 		cfg.ECCBufferSlots = depths[i]
 		m, err := runConfig(p, cfg, "Ali124")
@@ -99,7 +99,7 @@ type AccuracyAblationPoint struct {
 // sufficiently high prediction accuracy" requirement).
 func AblateAccuracy(p RunParams) ([]AccuracyAblationPoint, error) {
 	floors := []float64{0.80, 0.90, 0.95, 0.98, 0.995}
-	return fleet.Map(len(floors), p.Workers, func(i int) (AccuracyAblationPoint, error) {
+	return fleet.MapStop(len(floors), p.Workers, p.Stop, func(i int) (AccuracyAblationPoint, error) {
 		cfg := p.buildConfig(ssd.RiF, 2000)
 		cfg.PredictionFloor = floors[i]
 		m, err := runConfig(p, cfg, "Ali124")
@@ -122,7 +122,7 @@ type SecondCheckResult struct {
 // wear (3K P/E), where adjusted-VREF re-reads occasionally remain
 // above the capability.
 func AblateSecondCheck(p RunParams) (*SecondCheckResult, error) {
-	runs, err := fleet.Map(2, p.Workers, func(i int) (*ssd.Metrics, error) {
+	runs, err := fleet.MapStop(2, p.Workers, p.Stop, func(i int) (*ssd.Metrics, error) {
 		cfg := p.buildConfig(ssd.RiF, 3000)
 		cfg.RiFSecondCheck = i == 1
 		return runConfig(p, cfg, "Ali124")
@@ -158,7 +158,7 @@ func AblateDieScheduling(p RunParams, schemes []ssd.Scheme) ([]SchedulingPoint, 
 			keys = append(keys, cellKey{scheme, policy})
 		}
 	}
-	return fleet.Map(len(keys), p.Workers, func(i int) (SchedulingPoint, error) {
+	return fleet.MapStop(len(keys), p.Workers, p.Stop, func(i int) (SchedulingPoint, error) {
 		k := keys[i]
 		cfg := p.buildConfig(k.scheme, 2000)
 		cfg.DiePolicy = k.policy

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/ssd"
 	"repro/internal/trace"
@@ -32,6 +33,15 @@ type RunParams struct {
 	// sequential runs. Results are written into pre-indexed slots, so
 	// the output is byte-identical for every value.
 	Workers int
+	// Faults configures deterministic fault injection for every
+	// simulation these params run. The zero value injects nothing and
+	// leaves runs byte-identical to the pre-fault simulator.
+	Faults faults.Config
+	// Stop, when non-nil, is polled before each grid cell starts; once
+	// it reports true no new cells begin and the study returns
+	// fleet.ErrStopped. Cells already running finish normally, so
+	// manifests collected so far stay valid (flushed marked partial).
+	Stop func() bool
 
 	// Obs, when non-nil, is attached to every simulation these params
 	// run (instruments are concurrency-safe, so grid cells may share
@@ -60,6 +70,7 @@ func DefaultRunParams() RunParams {
 func (p RunParams) buildConfig(scheme ssd.Scheme, pe int) ssd.Config {
 	cfg := ssd.DefaultConfig(scheme, pe)
 	cfg.Seed = p.Seed
+	cfg.Faults = p.Faults
 	if p.Shrink {
 		cfg.Geometry.BlocksPerPlane = 256
 		cfg.Geometry.PagesPerBlock = 128

@@ -30,7 +30,7 @@ type MultiTenantResult struct {
 // benefit (the FlashShare-style concern the paper's intro cites).
 func MultiTenantStudy(p RunParams, schemes []ssd.Scheme, pe int) ([]MultiTenantResult, error) {
 	names := []string{"Ali124", "Ali2"}
-	return fleet.Map(len(schemes), p.Workers, func(i int) (MultiTenantResult, error) {
+	return fleet.MapStop(len(schemes), p.Workers, p.Stop, func(i int) (MultiTenantResult, error) {
 		scheme := schemes[i]
 		cfg := p.buildConfig(scheme, pe)
 		var queues []ssd.HostQueue

@@ -43,7 +43,7 @@ func AblateRefreshHorizon(p RunParams, scheme ssd.Scheme, pe int) ([]RefreshPoin
 	}
 	usedBytes := float64(spec.FootprintPages) * 16 * 1024
 	horizons := []float64{7, 14, 30, 60, 90}
-	return fleet.Map(len(horizons), p.Workers, func(i int) (RefreshPoint, error) {
+	return fleet.MapStop(len(horizons), p.Workers, p.Stop, func(i int) (RefreshPoint, error) {
 		horizon := horizons[i]
 		s := spec
 		s.MaxAgeDays = horizon

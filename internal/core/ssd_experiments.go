@@ -145,7 +145,7 @@ func CompareSchemes(p RunParams, schemes []ssd.Scheme, workloads []string, peCyc
 			}
 		}
 	}
-	cells, err := fleet.Map(len(keys), p.Workers, func(i int) (BandwidthCell, error) {
+	cells, err := fleet.MapStop(len(keys), p.Workers, p.Stop, func(i int) (BandwidthCell, error) {
 		k := keys[i]
 		m, err := RunOne(p, k.s, k.w, k.pe)
 		if err != nil {
@@ -201,7 +201,7 @@ func Fig18(p RunParams, schemes []ssd.Scheme) ([]UsageCell, error) {
 			}
 		}
 	}
-	return fleet.Map(len(keys), p.Workers, func(i int) (UsageCell, error) {
+	return fleet.MapStop(len(keys), p.Workers, p.Stop, func(i int) (UsageCell, error) {
 		k := keys[i]
 		m, err := RunOne(p, k.s, k.w, k.pe)
 		if err != nil {
@@ -250,7 +250,7 @@ func Fig19(p RunParams, schemes []ssd.Scheme) ([]LatencyCurve, error) {
 			keys = append(keys, cellKey{pe, s})
 		}
 	}
-	return fleet.Map(len(keys), p.Workers, func(i int) (LatencyCurve, error) {
+	return fleet.MapStop(len(keys), p.Workers, p.Stop, func(i int) (LatencyCurve, error) {
 		k := keys[i]
 		m, err := RunOne(p, k.s, "Ali124", k.pe)
 		if err != nil {

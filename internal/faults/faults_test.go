@@ -1,0 +1,124 @@
+package faults
+
+import "testing"
+
+func TestNilInjectorNeverInjects(t *testing.T) {
+	var inj *Injector
+	if inj.SenseRetries() != 0 || inj.BlockStuck(0) || inj.DieDown(0) ||
+		inj.TransferCorrupted() || inj.ForceMispredict() || inj.DecodeTimeout() {
+		t.Fatal("nil injector injected a fault")
+	}
+}
+
+func TestZeroConfigDisables(t *testing.T) {
+	if New(Config{}, 1) != nil {
+		t.Fatal("zero config produced a live injector")
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+}
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	for _, cfg := range []Config{
+		{TransientSenseRate: -0.1},
+		{StuckBlockRate: 1.5},
+		{DieDropoutRate: 2},
+		{ChannelCorruptRate: -1},
+		{MispredictRate: 1.01},
+		{DecodeTimeoutRate: -0.5},
+		{TransientSenseRate: 0.1, MaxSenseRetries: -1},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated", cfg)
+		}
+	}
+	if err := (Config{TransientSenseRate: 0.5, StuckBlockRate: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestStaticFaultsAreQueryOrderIndependent pins the property the
+// parallel fleet relies on: stuck-block and dead-die decisions depend
+// only on (seed, id), not on how many queries preceded them.
+func TestStaticFaultsAreQueryOrderIndependent(t *testing.T) {
+	cfg := Config{StuckBlockRate: 0.3, DieDropoutRate: 0.3, ChannelCorruptRate: 0.5}
+	a := New(cfg, 42)
+	b := New(cfg, 42)
+	// Perturb b's dynamic streams and query order before comparing.
+	for i := 0; i < 100; i++ {
+		b.TransferCorrupted()
+	}
+	for id := 511; id >= 0; id-- {
+		if a.BlockStuck(id) != b.BlockStuck(id) {
+			t.Fatalf("block %d stuck decision depends on query order", id)
+		}
+		if a.DieDown(id%32) != b.DieDown(id%32) {
+			t.Fatalf("die %d dropout decision depends on query order", id)
+		}
+	}
+}
+
+// TestStaticFaultRatesRealize checks the hash thresholds actually hit
+// near the configured rates over a large population.
+func TestStaticFaultRatesRealize(t *testing.T) {
+	inj := New(Config{StuckBlockRate: 0.1}, 7)
+	n, hits := 100000, 0
+	for id := 0; id < n; id++ {
+		if inj.BlockStuck(id) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("stuck rate realized %.4f, want ~0.10", got)
+	}
+}
+
+func TestSeedChangesStaticFaults(t *testing.T) {
+	cfg := Config{StuckBlockRate: 0.2}
+	a, b := New(cfg, 1), New(cfg, 2)
+	same := true
+	for id := 0; id < 256; id++ {
+		if a.BlockStuck(id) != b.BlockStuck(id) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("stuck-block set identical across seeds")
+	}
+}
+
+func TestSenseRetriesBounded(t *testing.T) {
+	inj := New(Config{TransientSenseRate: 1, MaxSenseRetries: 2}, 1)
+	for i := 0; i < 10; i++ {
+		if n := inj.SenseRetries(); n != 2 {
+			t.Fatalf("rate-1 sense retries = %d, want the bound 2", n)
+		}
+	}
+	inj = New(Config{TransientSenseRate: 1}, 1)
+	if n := inj.SenseRetries(); n != DefaultMaxSenseRetries {
+		t.Fatalf("default bound = %d, want %d", n, DefaultMaxSenseRetries)
+	}
+}
+
+// TestDynamicDrawsAreReproducible pins the dynamic streams: two
+// injectors with the same seed see identical fault sequences.
+func TestDynamicDrawsAreReproducible(t *testing.T) {
+	cfg := Config{
+		TransientSenseRate: 0.3,
+		ChannelCorruptRate: 0.3,
+		MispredictRate:     0.3,
+		DecodeTimeoutRate:  0.3,
+	}
+	a, b := New(cfg, 9), New(cfg, 9)
+	for i := 0; i < 1000; i++ {
+		if a.SenseRetries() != b.SenseRetries() ||
+			a.TransferCorrupted() != b.TransferCorrupted() ||
+			a.ForceMispredict() != b.ForceMispredict() ||
+			a.DecodeTimeout() != b.DecodeTimeout() {
+			t.Fatalf("draw %d diverged between same-seed injectors", i)
+		}
+	}
+}

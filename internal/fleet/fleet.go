@@ -16,10 +16,41 @@
 package fleet
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrStopped is returned by RunStop/MapStop when the stop hook fired
+// before every cell ran: the grid was cancelled, not failed.
+var ErrStopped = errors.New("fleet: run stopped")
+
+// CellPanicError reports a cell whose fn panicked. The pool recovers
+// it so one bad cell cannot crash the whole grid; the cell index says
+// which one died.
+type CellPanicError struct {
+	// Cell is the index whose fn panicked.
+	Cell int
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error formats the panic with its cell index.
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("fleet: cell %d panicked: %v", e.Cell, e.Value)
+}
+
+// safeCall runs fn(i), converting a panic into a *CellPanicError.
+func safeCall(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellPanicError{Cell: i, Value: r}
+		}
+	}()
+	return fn(i)
+}
 
 // Workers resolves a worker-count setting: n > 0 means exactly n
 // workers, anything else means one worker per available CPU
@@ -41,8 +72,18 @@ func Workers(n int) int {
 //
 // Every index runs even when some fail; the returned error is the
 // lowest-index one, so the error surfaced is the same no matter how
-// the cells interleave.
+// the cells interleave. A panicking cell is recovered and reported as
+// a *CellPanicError instead of crashing the whole grid.
 func Run(n, workers int, fn func(i int) error) error {
+	return RunStop(n, workers, nil, fn)
+}
+
+// RunStop is Run with a cancellation hook: stop (which may be nil) is
+// polled before each cell is started, and once it reports true no new
+// cells begin — cells already running finish normally. When any cell
+// was skipped and no cell failed, RunStop returns ErrStopped so the
+// caller knows the grid is incomplete.
+func RunStop(n, workers int, stop func() bool, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -51,9 +92,20 @@ func Run(n, workers int, fn func(i int) error) error {
 		workers = n
 	}
 	errs := make([]error, n)
+	var skipped atomic.Bool
+	cell := func(i int) bool {
+		if stop != nil && stop() {
+			skipped.Store(true)
+			return false
+		}
+		errs[i] = safeCall(i, fn)
+		return true
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
+			if !cell(i) {
+				break
+			}
 		}
 	} else {
 		var next atomic.Int64
@@ -67,7 +119,9 @@ func Run(n, workers int, fn func(i int) error) error {
 					if i >= n {
 						return
 					}
-					errs[i] = fn(i)
+					if !cell(i) {
+						return
+					}
 				}
 			}()
 		}
@@ -78,14 +132,24 @@ func Run(n, workers int, fn func(i int) error) error {
 			return err
 		}
 	}
+	if skipped.Load() {
+		return ErrStopped
+	}
 	return nil
 }
 
 // Map runs fn over [0, n) through Run and returns the results in
 // index order.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapStop(n, workers, nil, fn)
+}
+
+// MapStop is Map with RunStop's cancellation hook. On ErrStopped it
+// returns the partial results alongside the error: completed slots
+// hold their values, skipped slots hold T's zero value.
+func MapStop[T any](n, workers int, stop func() bool, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Run(n, workers, func(i int) error {
+	err := RunStop(n, workers, stop, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err
@@ -93,6 +157,9 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		out[i] = v
 		return nil
 	})
+	if errors.Is(err, ErrStopped) {
+		return out, err
+	}
 	if err != nil {
 		return nil, err
 	}

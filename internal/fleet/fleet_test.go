@@ -129,3 +129,101 @@ func TestMapErrorDropsResults(t *testing.T) {
 		t.Fatalf("out=%v err=%v, want nil slice and error", out, err)
 	}
 }
+
+func TestRunRecoversPanickingCell(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		counts := make([]atomic.Int32, 10)
+		err := Run(10, workers, func(i int) error {
+			counts[i].Add(1)
+			if i == 4 {
+				panic("cell exploded")
+			}
+			return nil
+		})
+		var pe *CellPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *CellPanicError", workers, err)
+		}
+		if pe.Cell != 4 || pe.Value != "cell exploded" {
+			t.Fatalf("workers=%d: panic error = %+v", workers, pe)
+		}
+		// The other cells must still have run: one bad cell does not
+		// take down the grid.
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("workers=%d: cell %d ran %d times", workers, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+func TestRunReportsLowestIndexPanic(t *testing.T) {
+	err := Run(10, 4, func(i int) error {
+		if i == 3 || i == 8 {
+			panic(i)
+		}
+		return nil
+	})
+	var pe *CellPanicError
+	if !errors.As(err, &pe) || pe.Cell != 3 {
+		t.Fatalf("err = %v, want cell 3 panic", err)
+	}
+}
+
+func TestRunStopSkipsRemainingCells(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		stop := func() bool { return ran.Load() >= 5 }
+		err := RunStop(20, workers, stop, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("workers=%d: err = %v, want ErrStopped", workers, err)
+		}
+		// With w workers, at most w cells can already be past the stop
+		// poll when the predicate flips.
+		if n := ran.Load(); n < 5 || n >= 20 {
+			t.Fatalf("workers=%d: %d cells ran", workers, n)
+		}
+	}
+}
+
+func TestRunStopNilAndNeverFiringAreComplete(t *testing.T) {
+	if err := RunStop(10, 2, nil, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunStop(10, 2, func() bool { return false }, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapStopReturnsPartialResults(t *testing.T) {
+	var ran atomic.Int32
+	stop := func() bool { return ran.Load() >= 3 }
+	out, err := MapStop(10, 1, stop, func(i int) (int, error) {
+		ran.Add(1)
+		return i + 100, nil
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if len(out) != 10 || out[0] != 100 || out[9] != 0 {
+		t.Fatalf("partial results wrong: %v", out)
+	}
+}
+
+func TestCellErrorBeatsStop(t *testing.T) {
+	// A real cell failure must surface even if the stop hook also
+	// fired: the error is the more important signal.
+	boom := errors.New("boom")
+	err := RunStop(5, 1, func() bool { return false }, func(i int) error {
+		if i == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

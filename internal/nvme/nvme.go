@@ -52,13 +52,35 @@ type Completion struct {
 // Status is an NVMe status code (0 = success).
 type Status uint16
 
-// Status codes used by the model.
+// Status codes used by the model. The value packs SCT and SC as the
+// spec's CQE status field does (bits 8:1 in DW3 hold SCT<<8|SC here).
 const (
 	StatusSuccess      Status = 0x0
 	StatusInvalidOp    Status = 0x1
 	StatusInvalidField Status = 0x2
 	StatusInternal     Status = 0x6
+	// StatusMediaError is SCT 2h (media and data integrity errors),
+	// SC 81h (unrecovered read error): the status a real controller
+	// returns when a read exhausts its retry ladder.
+	StatusMediaError Status = 0x281
 )
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "Success"
+	case StatusInvalidOp:
+		return "InvalidOpcode"
+	case StatusInvalidField:
+		return "InvalidField"
+	case StatusInternal:
+		return "InternalError"
+	case StatusMediaError:
+		return "UnrecoveredReadError"
+	}
+	return fmt.Sprintf("Status(%#x)", uint16(s))
+}
 
 // Queue is a power-of-two ring with head/tail indices, the structure
 // both SQs and CQs share. One slot is kept open to distinguish full

@@ -75,8 +75,9 @@ func WriteJSONFile(path string, v any) error {
 // scheme x workload x wear grid). Add is safe for concurrent use —
 // the grids run cells in parallel.
 type Collection struct {
-	mu   sync.Mutex
-	runs []Manifest
+	mu      sync.Mutex
+	runs    []Manifest
+	partial bool
 }
 
 // NewCollection returns an empty collection.
@@ -118,6 +119,28 @@ func (c *Collection) Runs() []Manifest {
 	return out
 }
 
+// SetPartial marks the collection as an incomplete flush: the run was
+// cancelled (timeout, SIGINT) before every cell finished. Nil-safe.
+func (c *Collection) SetPartial(v bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.partial = v
+	c.mu.Unlock()
+}
+
+// Partial reports whether the collection was flushed before the
+// experiment completed.
+func (c *Collection) Partial() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.partial
+}
+
 // Len reports the number of collected runs.
 func (c *Collection) Len() int {
 	if c == nil {
@@ -128,23 +151,27 @@ func (c *Collection) Len() int {
 	return len(c.runs)
 }
 
-// MarshalJSON serializes the collection as {"runs": [...]}.
+// MarshalJSON serializes the collection as {"runs": [...]}, with
+// "partial": true when the flush preceded completion.
 func (c *Collection) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
-		Runs []Manifest `json:"runs"`
-	}{Runs: c.Runs()})
+		Partial bool       `json:"partial,omitempty"`
+		Runs    []Manifest `json:"runs"`
+	}{Partial: c.Partial(), Runs: c.Runs()})
 }
 
 // UnmarshalJSON restores a collection written by MarshalJSON.
 func (c *Collection) UnmarshalJSON(data []byte) error {
 	var raw struct {
-		Runs []Manifest `json:"runs"`
+		Partial bool       `json:"partial"`
+		Runs    []Manifest `json:"runs"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
 	}
 	c.mu.Lock()
 	c.runs = raw.Runs
+	c.partial = raw.Partial
 	c.mu.Unlock()
 	return nil
 }

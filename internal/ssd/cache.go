@@ -1,5 +1,7 @@
 package ssd
 
+import "fmt"
+
 // writeCache is the controller's DRAM write buffer: a counting
 // semaphore over page slots. A host write completes once its pages
 // are buffered; the background flush (channel transfer + program)
@@ -10,6 +12,10 @@ type writeCache struct {
 	capacity int
 	inUse    int
 	waiters  []cacheWaiter
+
+	// fail receives accounting errors (a release below zero) so the
+	// run can surface them in its result instead of panicking.
+	fail func(error)
 
 	// Observability: immediate admissions vs back-pressured ones, and
 	// the occupancy high-water mark.
@@ -23,8 +29,8 @@ type cacheWaiter struct {
 	fn    func()
 }
 
-func newWriteCache(pages int) *writeCache {
-	return &writeCache{capacity: pages}
+func newWriteCache(pages int, fail func(error)) *writeCache {
+	return &writeCache{capacity: pages, fail: fail}
 }
 
 // enabled reports whether the device has a cache at all.
@@ -58,7 +64,12 @@ func (c *writeCache) admissible(pages int) bool {
 func (c *writeCache) release(pages int) {
 	c.inUse -= pages
 	if c.inUse < 0 {
-		panic("ssd: write cache released below zero")
+		// Accounting bug: clamp and surface it through the run result
+		// rather than panicking mid-simulation.
+		if c.fail != nil {
+			c.fail(fmt.Errorf("ssd: write cache released below zero (%d pages over)", -c.inUse))
+		}
+		c.inUse = 0
 	}
 	for len(c.waiters) > 0 {
 		w := c.waiters[0]

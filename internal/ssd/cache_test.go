@@ -7,7 +7,7 @@ import (
 )
 
 func TestWriteCacheImmediateGrant(t *testing.T) {
-	c := newWriteCache(10)
+	c := newWriteCache(10, nil)
 	granted := false
 	c.acquire(4, func() { granted = true })
 	if !granted || c.inUse != 4 {
@@ -20,7 +20,7 @@ func TestWriteCacheImmediateGrant(t *testing.T) {
 }
 
 func TestWriteCacheBackpressureFIFO(t *testing.T) {
-	c := newWriteCache(8)
+	c := newWriteCache(8, nil)
 	var order []int
 	c.acquire(6, func() { order = append(order, 1) })
 	c.acquire(4, func() { order = append(order, 2) }) // blocked (6+4 > 8)
@@ -36,7 +36,7 @@ func TestWriteCacheBackpressureFIFO(t *testing.T) {
 }
 
 func TestWriteCacheOversizeRequest(t *testing.T) {
-	c := newWriteCache(4)
+	c := newWriteCache(4, nil)
 	granted := false
 	c.acquire(10, func() { granted = true }) // larger than the cache
 	if !granted {
@@ -53,18 +53,23 @@ func TestWriteCacheOversizeRequest(t *testing.T) {
 	}
 }
 
-func TestWriteCacheReleaseUnderflowPanics(t *testing.T) {
-	c := newWriteCache(4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("underflow release did not panic")
-		}
-	}()
+func TestWriteCacheReleaseUnderflowSurfacesError(t *testing.T) {
+	var got error
+	c := newWriteCache(4, func(err error) { got = err })
+	c.release(1)
+	if got == nil {
+		t.Fatal("underflow release did not report an error")
+	}
+	if c.inUse != 0 {
+		t.Fatalf("inUse not clamped: %d", c.inUse)
+	}
+	// Without a fail hook the underflow must still not panic.
+	c = newWriteCache(4, nil)
 	c.release(1)
 }
 
 func TestWriteCacheDisabled(t *testing.T) {
-	c := newWriteCache(0)
+	c := newWriteCache(0, nil)
 	if c.enabled() {
 		t.Fatal("zero-capacity cache reports enabled")
 	}

@@ -28,7 +28,14 @@ type xferJob struct {
 	onDecoded func()
 	// label tags the job for timeline rendering.
 	label string
+	// resends counts injected-corruption re-transfers of this job.
+	resends int
 }
+
+// maxXferResends bounds corruption-driven re-transfers of one job;
+// past it the data is handed to the ECC engine as-is (which will
+// reject it if it is truly damaged).
+const maxXferResends = 3
 
 // channelStation couples one flash channel with its dedicated
 // channel-level ECC engine (footnote 2 of the paper: the raw page
@@ -44,10 +51,16 @@ type channelStation struct {
 	// record, when non-nil, receives transfer and decode occupancies
 	// (for timeline rendering).
 	record func(resource, label string, start, end sim.Time)
+	// corrupt, when non-nil, draws whether a completed read transfer
+	// was corrupted in flight (fault injection); the job is then
+	// re-issued from the die's page buffer.
+	corrupt func() bool
 
 	busy       bool
 	bufInUse   int
 	engineBusy bool
+	// corruptions counts injected transfer corruptions (re-sends).
+	corruptions int64
 	// bufHigh and pendHigh are occupancy high-water marks for
 	// observability (ECC raw-buffer slots, channel backlog).
 	bufHigh  int
@@ -121,6 +134,18 @@ func (c *channelStation) tryStartXfer() {
 				job.onDecoded()
 			}
 		case xferRead:
+			if c.corrupt != nil && job.resends < maxXferResends && c.corrupt() {
+				// The transfer arrived damaged: the wasted movement is
+				// UNCOR time, the buffer slot is released, and the job
+				// re-queues at the head (the page still sits intact in
+				// the die's page buffer).
+				c.corruptions++
+				c.uncor += dur
+				c.bufInUse--
+				job.resends++
+				c.pending = append([]*xferJob{job}, c.pending...)
+				break
+			}
 			// Split the occupancy between useful and doomed pages.
 			u := dur * sim.Time(job.uncorPages) / sim.Time(job.pages)
 			c.uncor += u

@@ -9,6 +9,7 @@ package ssd
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/nand"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -121,8 +122,26 @@ type Config struct {
 	// description).
 	SentinelExtraReadProb float64
 
-	// MaxRetryRounds bounds controller-driven retry loops.
+	// MaxRetryRounds bounds controller-driven retry loops. A page
+	// still failing after the last round is reported uncorrectable:
+	// it is counted in Metrics and the request completes with an NVMe
+	// media-error status instead of stalling or panicking.
 	MaxRetryRounds int
+
+	// RetryBackoff adds (round-1)*RetryBackoff of extra sense time to
+	// each successive controller-driven retry round, modelling the
+	// deeper (slower) read-retry table entries a controller walks as
+	// earlier entries keep failing. Zero (the default, used by all
+	// paper figures) keeps every round at the scheme's base re-sense
+	// latency.
+	RetryBackoff sim.Time
+
+	// Faults configures deterministic fault injection (transient
+	// sense failures, stuck blocks, die dropout, channel corruption,
+	// forced RP misprediction, LDPC decode timeout). The zero value —
+	// the default for every paper figure — injects nothing and leaves
+	// all random streams untouched.
+	Faults faults.Config
 
 	// GCFreeBlockLow triggers garbage collection in a plane when its
 	// free block count falls to this threshold.
@@ -207,7 +226,12 @@ func (c Config) Validate() error {
 	if err := c.Geometry.Validate(); err != nil {
 		return err
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	switch {
+	case c.Scheme < Zero || c.Scheme > RiF:
+		return fmt.Errorf("ssd: unknown scheme %d", int(c.Scheme))
 	case c.Timing.TR <= 0 || c.Timing.TProg <= 0 || c.Timing.TErase <= 0:
 		return fmt.Errorf("ssd: non-positive NAND timing %+v", c.Timing)
 	case c.Timing.TDMAPage <= 0:
@@ -230,6 +254,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ssd: die policy %d", c.DiePolicy)
 	case c.ResumePenalty < 0:
 		return fmt.Errorf("ssd: resume penalty %v", c.ResumePenalty)
+	case c.RetryBackoff < 0:
+		return fmt.Errorf("ssd: retry backoff %v", c.RetryBackoff)
 	}
 	return nil
 }

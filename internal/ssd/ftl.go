@@ -26,14 +26,23 @@ type FTL struct {
 	// can pick the least-worn free block (dynamic wear leveling).
 	WearOf func(plane nand.Address, block int) int
 
+	// DieDown, when set, reports a dead die by dense index; Write then
+	// fails writes over to the same plane offset of the next live die.
+	DieDown func(dieIdx int) bool
+
 	// Logical map for pages written during the run.
 	written map[int64]mapEntry
 
 	planes []planeState
 
+	// retired holds grown-bad blocks pulled from circulation, keyed by
+	// plane index then block index.
+	retired map[int]map[int]bool
+
 	// Counters surfaced through Metrics.
 	gcRuns         int64
 	pagesRelocated int64
+	dieFailovers   int64
 }
 
 type mapEntry struct {
@@ -74,6 +83,11 @@ func NewFTL(geo nand.Geometry) *FTL {
 		}
 	}
 	return f
+}
+
+// planeIndexOfAddr maps physical coordinates back to the plane index.
+func (f *FTL) planeIndexOfAddr(a nand.Address) int {
+	return ((a.Channel*f.geo.DiesPerChan)+a.Die)*f.geo.PlanesPerDie + a.Plane
 }
 
 // planeIndex maps an lpn to its plane (striping).
@@ -140,6 +154,16 @@ type GCWork struct {
 // performed to free space. gcLow is the free-block low-water mark.
 func (f *FTL) Write(lpn int64, now sim.Time, gcLow int) (nand.Address, *GCWork, error) {
 	pIdx := f.planeIndex(lpn)
+	if f.DieDown != nil {
+		live, ok := f.failover(pIdx)
+		if !ok {
+			return nand.Address{}, nil, fmt.Errorf("ssd: every die down, cannot place lpn %d", lpn)
+		}
+		if live != pIdx {
+			f.dieFailovers++
+		}
+		pIdx = live
+	}
 	p := &f.planes[pIdx]
 
 	var gc *GCWork
@@ -170,17 +194,65 @@ func (f *FTL) Write(lpn int64, now sim.Time, gcLow int) (nand.Address, *GCWork, 
 	return addr, gc, nil
 }
 
-// invalidate drops lpn's old physical page, if any.
+// invalidate drops lpn's old physical page, if any. The old mapping's
+// own coordinates locate the plane: with die failover the page may
+// not live on the plane the striping would predict.
 func (f *FTL) invalidate(lpn int64) {
 	e, ok := f.written[lpn]
 	if !ok {
 		return
 	}
-	p := &f.planes[f.planeIndex(lpn)]
+	p := &f.planes[f.planeIndexOfAddr(e.addr)]
 	if b, ok := p.blocks[e.addr.Block]; ok {
 		delete(b.valid, e.addr.Page)
 	}
 }
+
+// failover redirects a write aimed at a dead die to the same plane
+// offset on the next live die, scanning in dense-die order. It
+// reports false when every die is down.
+func (f *FTL) failover(pIdx int) (int, bool) {
+	planes := f.geo.PlanesPerDie
+	dies := f.geo.TotalDies()
+	dieIdx := pIdx / planes
+	off := pIdx % planes
+	for k := 0; k < dies; k++ {
+		d := (dieIdx + k) % dies
+		if !f.DieDown(d) {
+			return d*planes + off, true
+		}
+	}
+	return 0, false
+}
+
+// RetireBlock pulls a grown-bad block out of circulation: it is
+// removed from its plane's free list (if free) and will never be
+// returned to it by garbage collection.
+func (f *FTL) RetireBlock(a nand.Address) {
+	pIdx := f.planeIndexOfAddr(a)
+	if f.retired == nil {
+		f.retired = make(map[int]map[int]bool)
+	}
+	if f.retired[pIdx] == nil {
+		f.retired[pIdx] = make(map[int]bool)
+	}
+	f.retired[pIdx][a.Block] = true
+	p := &f.planes[pIdx]
+	for i, b := range p.freeBlocks {
+		if b == a.Block {
+			p.freeBlocks = append(p.freeBlocks[:i], p.freeBlocks[i+1:]...)
+			return
+		}
+	}
+}
+
+// isRetired reports whether a plane's block has been retired.
+func (f *FTL) isRetired(pIdx, block int) bool {
+	return f.retired[pIdx][block]
+}
+
+// Failovers reports how many writes were re-homed off dead dies.
+func (f *FTL) Failovers() int64 { return f.dieFailovers }
 
 // collect performs greedy garbage collection on a plane: the closed
 // block with the fewest valid pages is relocated (copyback, so no
@@ -231,7 +303,9 @@ func (f *FTL) collect(p *planeState) (*GCWork, error) {
 		f.written[lpn] = mapEntry{addr: addr, writtenAt: old.writtenAt}
 	}
 	delete(p.blocks, victim)
-	p.freeBlocks = append([]int{victim}, p.freeBlocks...)
+	if !f.isRetired(f.planeIndexOfAddr(p.addr), victim) {
+		p.freeBlocks = append([]int{victim}, p.freeBlocks...)
+	}
 	f.gcRuns++
 	f.pagesRelocated += int64(work.PagesRelocated)
 	return work, nil

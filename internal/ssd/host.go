@@ -59,10 +59,13 @@ func (s *SSD) RunQueues(queues []HostQueue, nPerQueue int) (*Metrics, []QueueMet
 		// Cold-age lookups route through the owning queue's workload.
 		prev := s.workload
 		s.workload = q.Workload
-		s.runRequest(req, func() {
+		s.runRequest(req, func(res cmdResult) {
 			s.inFlight--
 			s.m.RequestsCompleted++
 			s.lastDone = s.eng.Now()
+			if res.uncPages > 0 {
+				s.m.MediaErrorRequests++
+			}
 			qm := &perQueue[qi]
 			qm.RequestsCompleted++
 			bytes := int64(req.Pages) * int64(s.cfg.Geometry.PageBytes)

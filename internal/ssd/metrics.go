@@ -57,6 +57,46 @@ func (u *ChannelUsage) add(v ChannelUsage) {
 	u.Total += v.Total
 }
 
+// FaultMetrics aggregates the injected-fault activity of one run and
+// the degradation machinery it exercised. All zero when fault
+// injection is disabled.
+type FaultMetrics struct {
+	// TransientSenseFaults counts injected sense glitches (each one
+	// cost a full extra sense on the die).
+	TransientSenseFaults int64
+	// StuckPageReads counts page reads that hit a grown-bad block.
+	StuckPageReads int64
+	// GrownBadBlocks counts distinct blocks the FTL retired after
+	// their reads proved uncorrectable.
+	GrownBadBlocks int64
+	// DieDropoutReads counts page reads aimed at a dead die (each
+	// fails after a probe sense and surfaces as a media error).
+	DieDropoutReads int64
+	// DieFailovers counts writes the FTL re-homed from a dead die to
+	// the next live one.
+	DieFailovers int64
+	// ChannelCorruptions counts read transfers corrupted in flight
+	// and re-issued from the die's page buffer.
+	ChannelCorruptions int64
+	// ForcedMispredictions counts RP predictions inverted by
+	// injection (on top of the accuracy model's own errors).
+	ForcedMispredictions int64
+	// DecodeTimeouts counts LDPC decodes that timed out and pushed
+	// their page into the retry ladder.
+	DecodeTimeouts int64
+	// DroppedWrites counts host writes abandoned because the FTL
+	// could not place them (out of space or every die down); the run
+	// carries the first such error in its result.
+	DroppedWrites int64
+}
+
+// Total sums every injected-fault event (not the derived failover /
+// retirement / drop counters).
+func (f FaultMetrics) Total() int64 {
+	return f.TransientSenseFaults + f.StuckPageReads + f.DieDropoutReads +
+		f.ChannelCorruptions + f.ForcedMispredictions + f.DecodeTimeouts
+}
+
 // Metrics is the result of one simulation run.
 type Metrics struct {
 	Scheme   Scheme
@@ -105,6 +145,24 @@ type Metrics struct {
 	// Suspensions counts program/erase preemptions by reads
 	// (DieSuspension policy only).
 	Suspensions int64
+
+	// MediaErrorRequests counts host read requests that completed
+	// with at least one uncorrectable page: the graceful-degradation
+	// outcome (an NVMe media-error status) instead of a stall or
+	// panic.
+	MediaErrorRequests int64
+
+	// Faults is the injected-fault accounting.
+	Faults FaultMetrics
+}
+
+// MediaErrorRate reports the fraction of completed requests that
+// returned a media error.
+func (m *Metrics) MediaErrorRate() float64 {
+	if m.RequestsCompleted == 0 {
+		return 0
+	}
+	return float64(m.MediaErrorRequests) / float64(m.RequestsCompleted)
 }
 
 // Bandwidth reports the achieved I/O bandwidth in MB/s (decimal,

@@ -62,7 +62,7 @@ func (b *NVMeBackend) Execute(_ uint16, cmd nvme.Command, done func(nvme.Status)
 		Pages: int(lastPage-firstPage) + 1,
 	}
 	s.inFlight++
-	s.runRequest(req, func() {
+	s.runRequest(req, func(res cmdResult) {
 		s.inFlight--
 		s.m.RequestsCompleted++
 		s.lastDone = s.eng.Now()
@@ -72,7 +72,18 @@ func (b *NVMeBackend) Execute(_ uint16, cmd nvme.Command, done func(nvme.Status)
 		} else {
 			s.m.BytesWritten += bytes
 		}
-		done(nvme.StatusSuccess)
+		// Degradation outcomes surface as real NVMe statuses: a read
+		// with retry-exhausted pages is a media error (SCT 2h / SC
+		// 81h), a write the FTL could not place is an internal error.
+		st := nvme.StatusSuccess
+		if res.uncPages > 0 {
+			s.m.MediaErrorRequests++
+			st = nvme.StatusMediaError
+		}
+		if res.writeErr {
+			st = nvme.StatusInternal
+		}
+		done(st)
 	})
 }
 

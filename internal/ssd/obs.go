@@ -32,6 +32,24 @@ func (s *SSD) foldObs() {
 	reg.Counter("ssd_retry_rounds_total").Add(s.m.RetryRounds)
 	reg.Counter("ssd_sentinel_extra_reads_total").Add(s.m.SentinelExtraReads)
 	reg.Counter("ssd_unrecovered_pages_total").Add(s.m.UnrecoveredPages)
+	reg.Counter("ssd_media_error_requests_total").Add(s.m.MediaErrorRequests)
+
+	// Fault injection: published only when the injector is live, so a
+	// fault-free run's registry (and manifest) is byte-identical to
+	// one from a build without the subsystem.
+	if s.inj != nil {
+		f := s.m.Faults
+		reg.Counter("faults_transient_sense_total").Add(f.TransientSenseFaults)
+		reg.Counter("faults_stuck_page_reads_total").Add(f.StuckPageReads)
+		reg.Counter("faults_grown_bad_blocks_total").Add(f.GrownBadBlocks)
+		reg.Counter("faults_die_dropout_reads_total").Add(f.DieDropoutReads)
+		reg.Counter("faults_die_failovers_total").Add(f.DieFailovers)
+		reg.Counter("faults_channel_corruptions_total").Add(f.ChannelCorruptions)
+		reg.Counter("faults_forced_mispredictions_total").Add(f.ForcedMispredictions)
+		reg.Counter("faults_decode_timeouts_total").Add(f.DecodeTimeouts)
+		reg.Counter("faults_dropped_writes_total").Add(f.DroppedWrites)
+		reg.Counter("faults_injected_total").Add(f.Total())
+	}
 
 	// RP/RVS behaviour (the Fig. 14 confusion matrix; positive = RP
 	// predicts the decode will fail).

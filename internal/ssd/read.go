@@ -1,18 +1,36 @@
 package ssd
 
 import (
+	"fmt"
+
 	"repro/internal/nand"
 	"repro/internal/sim"
 )
 
 // readCommand executes one multi-plane read under the configured
 // scheme and calls done when the data has been delivered to the host.
-func (s *SSD) readCommand(cmd dieCommand, done func()) {
-	die, ch := s.dieOf(cmd)
+// Pages that exhaust the retry ladder are reported in the result as
+// uncorrectable instead of wedging or panicking.
+func (s *SSD) readCommand(cmd dieCommand, done func(cmdResult)) {
+	die, ch, dieIdx := s.dieOf(cmd)
+	if s.inj.DieDown(dieIdx) {
+		// The die dropped out: the controller's probe sense times out
+		// and every page of the command is reported uncorrectable.
+		n := len(cmd.lpns)
+		s.m.PageReads += int64(n)
+		s.m.UnrecoveredPages += int64(n)
+		s.m.Faults.DieDropoutReads += int64(n)
+		s.eng.After(s.cfg.Timing.TR, func() {
+			done(cmdResult{uncPages: n})
+		})
+		return
+	}
 	pages := s.resolvePages(cmd)
 	s.m.PageReads += int64(len(pages))
 
-	finish := func() { s.hostTransfer(len(pages), done) }
+	finish := func(unc int) {
+		s.hostTransfer(len(pages), func() { done(cmdResult{uncPages: unc}) })
+	}
 
 	var lbl string
 	if s.cfg.RecordSpans || s.cfg.Trace != nil {
@@ -34,20 +52,23 @@ func (s *SSD) readCommand(cmd dieCommand, done func()) {
 	case RiF:
 		s.readRiF(die, ch, pages, lbl, finish)
 	default:
-		panic("ssd: unknown scheme")
+		// Unreachable: Config.Validate rejects unknown schemes.
+		// Complete the command anyway rather than wedging the drain.
+		s.failRun(fmt.Errorf("ssd: unknown scheme %d", int(s.cfg.Scheme)))
+		finish(0)
 	}
 }
 
 // readZero is the no-retry hypothetical: every page decodes in one
 // iteration.
-func (s *SSD) readZero(die *dieStation, ch *channelStation, pages []pageView, lbl string, finish func()) {
-	die.ReadLabeled(s.cfg.Timing.TR, lbl, func() {
+func (s *SSD) readZero(die *dieStation, ch *channelStation, pages []pageView, lbl string, finish func(int)) {
+	die.ReadLabeled(s.senseTime(s.cfg.Timing.TR), lbl, func() {
 		ch.submit(&xferJob{
 			kind:       xferRead,
 			pages:      len(pages),
 			uncorPages: 0,
 			engineTime: sim.Time(len(pages)) * s.dec.MinLatency(),
-			onDecoded:  finish,
+			onDecoded:  func() { finish(0) },
 			label:      lbl,
 		})
 	})
@@ -57,18 +78,23 @@ func (s *SSD) readZero(die *dieStation, ch *channelStation, pages []pageView, lb
 // the sensed page must cross the channel and fail the off-chip decode
 // before a retry (with the given re-sense duration) is issued.
 // sentinel adds the possible extra off-chip sentinel-cell read.
-func (s *SSD) readOffChipRetry(die *dieStation, ch *channelStation, pages []pageView, lbl string, retrySense sim.Time, sentinel bool, finish func()) {
+func (s *SSD) readOffChipRetry(die *dieStation, ch *channelStation, pages []pageView, lbl string, retrySense sim.Time, sentinel bool, finish func(int)) {
 	rbers := make([]float64, len(pages))
 	uncor := 0
 	var failed []pageView
 	for i, p := range pages {
 		rbers[i] = p.rberFirst
-		if p.fails {
+		fails := p.fails
+		if s.decodeTimeout() && !fails {
+			fails = true
+			rbers[i] = s.timeoutRBER()
+		}
+		if fails {
 			uncor++
 			failed = append(failed, p)
 		}
 	}
-	die.ReadLabeled(s.cfg.Timing.TR, lbl, func() {
+	die.ReadLabeled(s.senseTime(s.cfg.Timing.TR), lbl, func() {
 		ch.submit(&xferJob{
 			kind:       xferRead,
 			pages:      len(pages),
@@ -77,7 +103,7 @@ func (s *SSD) readOffChipRetry(die *dieStation, ch *channelStation, pages []page
 			label:      lbl,
 			onDecoded: func() {
 				if len(failed) == 0 {
-					finish()
+					finish(0)
 					return
 				}
 				s.m.PagesRetried += int64(len(failed))
@@ -88,17 +114,26 @@ func (s *SSD) readOffChipRetry(die *dieStation, ch *channelStation, pages []page
 }
 
 // retryOffChip performs one controller-driven retry round for the
-// failed pages and recurses while pages keep failing.
-func (s *SSD) retryOffChip(die *dieStation, ch *channelStation, failed []pageView, lbl string, retrySense sim.Time, sentinel bool, round int, finish func()) {
+// failed pages and recurses while pages keep failing. Each successive
+// round adds RetryBackoff of extra sense time (deeper retry-table
+// entries); a page still failing after MaxRetryRounds is reported
+// uncorrectable and, if its block is grown bad, the block is retired.
+func (s *SSD) retryOffChip(die *dieStation, ch *channelStation, failed []pageView, lbl string, retrySense sim.Time, sentinel bool, round int, finish func(int)) {
 	s.m.RetryRounds++
+	sense := retrySense + sim.Time(round-1)*s.cfg.RetryBackoff
 	doRetry := func() {
-		die.ReadLabeled(retrySense, lbl+"'", func() {
+		die.ReadLabeled(s.senseTime(sense), lbl+"'", func() {
 			rbers := make([]float64, len(failed))
 			var still []pageView
 			uncor := 0
 			for i, p := range failed {
 				rbers[i] = p.rberRetry
-				if p.rberRetry > s.dec.Capability {
+				fails := p.rberRetry > s.dec.Capability
+				if s.decodeTimeout() && !fails {
+					fails = true
+					rbers[i] = s.timeoutRBER()
+				}
+				if fails {
 					uncor++
 					still = append(still, p)
 				}
@@ -111,12 +146,15 @@ func (s *SSD) retryOffChip(die *dieStation, ch *channelStation, failed []pageVie
 				label:      lbl + "'",
 				onDecoded: func() {
 					if len(still) == 0 {
-						finish()
+						finish(0)
 						return
 					}
 					if round >= s.cfg.MaxRetryRounds {
 						s.m.UnrecoveredPages += int64(len(still))
-						finish()
+						for _, p := range still {
+							s.retireBlock(p)
+						}
+						finish(len(still))
 						return
 					}
 					s.retryOffChip(die, ch, still, lbl, retrySense, sentinel, round+1, finish)
@@ -130,7 +168,7 @@ func (s *SSD) retryOffChip(die *dieStation, ch *channelStation, failed []pageVie
 		// with the sentinel VREF set and shipped to the controller;
 		// the transfer is pure overhead (UNCOR).
 		s.m.SentinelExtraReads += int64(len(failed))
-		die.ReadLabeled(s.cfg.Timing.TR, lbl, func() {
+		die.ReadLabeled(s.senseTime(s.cfg.Timing.TR), lbl, func() {
 			ch.submit(&xferJob{
 				kind:       xferRead,
 				pages:      len(failed),
@@ -148,12 +186,13 @@ func (s *SSD) retryOffChip(die *dieStation, ch *channelStation, failed []pageVie
 // readRPController is RPSSD: the RP module sits next to the
 // controller's ECC engine. Doomed decodes are terminated after tPRED,
 // but uncorrectable pages still consume channel bandwidth.
-func (s *SSD) readRPController(die *dieStation, ch *channelStation, pages []pageView, lbl string, finish func()) {
+func (s *SSD) readRPController(die *dieStation, ch *channelStation, pages []pageView, lbl string, finish func(int)) {
 	var engineTime sim.Time
 	uncor := 0
 	var failed []pageView
 	for _, p := range pages {
 		predFail := s.predictFail(p)
+		fails := p.fails
 		switch {
 		case predFail:
 			// Decode cut short at the prediction latency. (A false
@@ -163,15 +202,18 @@ func (s *SSD) readRPController(die *dieStation, ch *channelStation, pages []page
 			// Predicted correctable: the decode runs to completion —
 			// for a false negative that is the full failing decode.
 			engineTime += s.dec.Decode(p.rberFirst).Latency
+			if s.decodeTimeout() && !fails {
+				fails = true
+			}
 		}
-		if p.fails {
+		if fails {
 			uncor++
 		}
-		if p.fails || predFail {
+		if fails || predFail {
 			failed = append(failed, p)
 		}
 	}
-	die.ReadLabeled(s.cfg.Timing.TR, lbl, func() {
+	die.ReadLabeled(s.senseTime(s.cfg.Timing.TR), lbl, func() {
 		ch.submit(&xferJob{
 			kind:       xferRead,
 			pages:      len(pages),
@@ -180,7 +222,7 @@ func (s *SSD) readRPController(die *dieStation, ch *channelStation, pages []page
 			label:      lbl,
 			onDecoded: func() {
 				if len(failed) == 0 {
-					finish()
+					finish(0)
 					return
 				}
 				s.m.PagesRetried += int64(len(failed))
@@ -194,7 +236,7 @@ func (s *SSD) readRPController(die *dieStation, ch *channelStation, pages []page
 // after the sense; predicted-uncorrectable pages are re-read inside
 // the die at RVS-selected voltages before anything crosses the
 // channel. Only false negatives ever ship a doomed page.
-func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl string, finish func()) {
+func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl string, finish func(int)) {
 	type plan struct {
 		view     pageView
 		predFail bool
@@ -253,7 +295,7 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 		}
 	}
 
-	die.ReadLabeled(dieTime, lbl, func() {
+	die.ReadLabeled(s.senseTime(dieTime), lbl, func() {
 		rbers := make([]float64, len(plans))
 		uncor := 0
 		var failed []pageView
@@ -262,13 +304,23 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 			if pl.predFail {
 				rbers[i] = pl.view.rberRetry
 				retriedNow++
-				if pl.view.rberRetry > s.dec.Capability {
+				fails := pl.view.rberRetry > s.dec.Capability
+				if s.decodeTimeout() && !fails {
+					fails = true
+					rbers[i] = s.timeoutRBER()
+				}
+				if fails {
 					uncor++
 					failed = append(failed, pl.view)
 				}
 			} else {
 				rbers[i] = pl.view.rberFirst
-				if pl.view.fails {
+				fails := pl.view.fails
+				if s.decodeTimeout() && !fails {
+					fails = true
+					rbers[i] = s.timeoutRBER()
+				}
+				if fails {
 					// False negative: the doomed page crosses the
 					// channel and burns a full failing decode.
 					uncor++
@@ -289,7 +341,7 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 			label:      lbl,
 			onDecoded: func() {
 				if len(failed) == 0 {
-					finish()
+					finish(0)
 					return
 				}
 				// Recovery path for mispredictions: conventional
@@ -302,9 +354,15 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 
 // predictFail draws RP's prediction for a page from the calibrated
 // accuracy model and accounts for it (including the confusion matrix).
+// An injected forced misprediction inverts the engine's output on top
+// of the accuracy model's own errors.
 func (s *SSD) predictFail(p pageView) bool {
 	s.m.Predictions++
 	correct := s.acc.PredictCorrect(p.rberFirst, s.predictRNG.Float64())
+	if s.inj.ForceMispredict() {
+		s.m.Faults.ForcedMispredictions++
+		correct = !correct
+	}
 	predFail := p.fails
 	if !correct {
 		s.m.Mispredictions++

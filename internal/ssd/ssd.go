@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ecc"
+	"repro/internal/faults"
 	"repro/internal/nand"
 	"repro/internal/obs"
 	"repro/internal/odear"
@@ -36,8 +37,13 @@ type SSD struct {
 	predictRNG  *sim.RNG
 	sentinelRNG *sim.RNG
 
+	// inj answers fault-injection queries; nil (the default) injects
+	// nothing and costs nothing on the hot paths.
+	inj *faults.Injector
+
 	readCounts  []int32 // per-block read counters (read disturb)
 	eraseCounts []int32 // per-block erase counters (wear on top of PECycles)
+	retired     []bool  // grown-bad blocks retired by the FTL, by block id
 
 	cache    *writeCache
 	flushers []*dieFlusher
@@ -54,7 +60,31 @@ type SSD struct {
 	// configured registry; nil (a no-op) when observability is off.
 	readLat *obs.Histogram
 
+	// runErr is the first non-fatal device error of the run (dropped
+	// write, cache underflow); surfaced by finishRun instead of a
+	// panic.
+	runErr error
+
 	m Metrics
+}
+
+// cmdResult is one die command's completion report: the
+// graceful-degradation outcome threaded back to the host model.
+type cmdResult struct {
+	// uncPages counts pages that exhausted the retry ladder and were
+	// reported uncorrectable.
+	uncPages int
+	// writeErr reports that the FTL could not place the command's
+	// writes.
+	writeErr bool
+}
+
+// failRun records the first device error of the run; finishRun
+// returns it instead of letting the device panic mid-simulation.
+func (s *SSD) failRun(err error) {
+	if s.runErr == nil {
+		s.runErr = err
+	}
 }
 
 // New assembles an SSD from the configuration.
@@ -76,10 +106,16 @@ func New(cfg Config, w Workload) (*SSD, error) {
 		host:        sim.NewResource(eng, "host", 1),
 		predictRNG:  sim.NewRNG(cfg.Seed, 101),
 		sentinelRNG: sim.NewRNG(cfg.Seed, 102),
+		inj:         faults.New(cfg.Faults, cfg.Seed),
 		readCounts:  make([]int32, cfg.Geometry.TotalBlocks()),
 		eraseCounts: make([]int32, cfg.Geometry.TotalBlocks()),
-		cache:       newWriteCache(cfg.WriteCachePages),
+		retired:     make([]bool, cfg.Geometry.TotalBlocks()),
 		workload:    w,
+	}
+	s.cache = newWriteCache(cfg.WriteCachePages, s.failRun)
+	if cfg.Faults.DieDropoutRate > 0 {
+		// Writes aimed at a dead die fail over to the next live one.
+		s.ftl.DieDown = s.inj.DieDown
 	}
 	// Dynamic wear leveling: allocation prefers the least-erased
 	// free block.
@@ -109,6 +145,9 @@ func New(cfg Config, w Workload) (*SSD, error) {
 		st.name = fmt.Sprintf("ch%d", ch)
 		if recordSpans {
 			st.record = s.addSpan
+		}
+		if cfg.Faults.ChannelCorruptRate > 0 {
+			st.corrupt = s.inj.TransferCorrupted
 		}
 		s.channels = append(s.channels, st)
 	}
@@ -159,6 +198,9 @@ func (s *SSD) Run(nRequests int) (*Metrics, error) {
 // finishRun verifies the device drained cleanly and folds the final
 // accounting into the metrics.
 func (s *SSD) finishRun() error {
+	if s.runErr != nil {
+		return s.runErr
+	}
 	if s.inFlight != 0 {
 		return fmt.Errorf("ssd: simulation drained with %d requests in flight", s.inFlight)
 	}
@@ -184,8 +226,10 @@ func (s *SSD) finishRun() error {
 			return fmt.Errorf("ssd: channel not quiesced at drain")
 		}
 		s.m.Channels.add(ch.usage())
+		s.m.Faults.ChannelCorruptions += ch.corruptions
 	}
 	s.m.GCRuns, s.m.PagesRelocated = s.ftl.GCStats()
+	s.m.Faults.DieFailovers = s.ftl.Failovers()
 	s.foldObs()
 	return nil
 }
@@ -223,10 +267,13 @@ func (s *SSD) scheduleNextArrival() {
 // loop (chain == true) the completion admits the next request.
 func (s *SSD) startRequest(req trace.Request, chain bool) {
 	start := s.eng.Now()
-	s.runRequest(req, func() {
+	s.runRequest(req, func(res cmdResult) {
 		s.inFlight--
 		s.m.RequestsCompleted++
 		s.lastDone = s.eng.Now()
+		if res.uncPages > 0 {
+			s.m.MediaErrorRequests++
+		}
 		bytes := int64(req.Pages) * int64(s.cfg.Geometry.PageBytes)
 		if req.Op == trace.Read {
 			s.m.BytesRead += bytes
@@ -273,13 +320,16 @@ func (s *SSD) splitRequest(req trace.Request) []dieCommand {
 	return cmds
 }
 
-func (s *SSD) runRequest(req trace.Request, done func()) {
+func (s *SSD) runRequest(req trace.Request, done func(cmdResult)) {
 	cmds := s.splitRequest(req)
 	outstanding := len(cmds)
-	oneDone := func() {
+	var agg cmdResult
+	oneDone := func(r cmdResult) {
+		agg.uncPages += r.uncPages
+		agg.writeErr = agg.writeErr || r.writeErr
 		outstanding--
 		if outstanding == 0 {
-			done()
+			done(agg)
 		}
 	}
 	for _, cmd := range cmds {
@@ -323,6 +373,12 @@ func (s *SSD) resolvePages(cmd dieCommand) []pageView {
 		pe := s.cfg.PECycles + int(s.eraseCounts[bid])
 		first := s.model.PageRBER(bid, pt, pe, age, reads, firstMode)
 		retry := s.model.PageRBER(bid, pt, pe, age, reads, nand.OptimalVref)
+		if s.inj.BlockStuck(bid) {
+			// Grown-bad block: every read of it is hopeless at any
+			// VREF, so the page rides the retry ladder to exhaustion.
+			s.m.Faults.StuckPageReads++
+			first, retry = stuckRBER, stuckRBER
+		}
 		views = append(views, pageView{
 			lpn:       lpn,
 			addr:      addr,
@@ -337,15 +393,60 @@ func (s *SSD) resolvePages(cmd dieCommand) []pageView {
 	return views
 }
 
-// dieOf reports the die resource and channel station of a command.
-func (s *SSD) dieOf(cmd dieCommand) (*dieStation, *channelStation) {
+// dieOf reports the die resource, channel station and dense die index
+// of a command.
+func (s *SSD) dieOf(cmd dieCommand) (*dieStation, *channelStation, int) {
 	addr, _, _ := s.ftl.Lookup(cmd.lpns[0])
-	return s.dies[s.cfg.Geometry.DieID(addr)], s.channels[addr.Channel]
+	dieIdx := s.cfg.Geometry.DieID(addr)
+	return s.dies[dieIdx], s.channels[addr.Channel], dieIdx
 }
 
 // sense occupies the die with an array read for dur, then runs next.
 func (s *SSD) sense(die *dieStation, dur sim.Time, next func()) {
 	die.Read(dur, next)
+}
+
+// stuckRBER is the effective error rate of a grown-bad block's pages:
+// far past any ECC capability, so every decode fails at full latency.
+const stuckRBER = 0.5
+
+// senseTime charges injected transient sense failures on top of a
+// base array-read occupancy: each glitched sense is re-issued at full
+// tR. A no-op (no draw) when the class is off.
+func (s *SSD) senseTime(base sim.Time) sim.Time {
+	n := s.inj.SenseRetries()
+	if n > 0 {
+		s.m.Faults.TransientSenseFaults += int64(n)
+		base += sim.Time(n) * s.cfg.Timing.TR
+	}
+	return base
+}
+
+// decodeTimeout draws one page's injected LDPC decode-timeout fault.
+func (s *SSD) decodeTimeout() bool {
+	if s.inj.DecodeTimeout() {
+		s.m.Faults.DecodeTimeouts++
+		return true
+	}
+	return false
+}
+
+// timeoutRBER is the effective error rate charged to a timed-out
+// decode: past capability, so the latency model bills a full failing
+// decode and the page enters the scheme's retry ladder.
+func (s *SSD) timeoutRBER() float64 { return 4 * s.dec.Capability }
+
+// retireBlock retires the block behind a retry-exhausted page when
+// the block is genuinely grown bad (every read of it is hopeless), so
+// the allocator stops handing it out. Natural per-page exhaustion at
+// high wear does not retire: the block's other pages are still good.
+func (s *SSD) retireBlock(p pageView) {
+	if !s.inj.BlockStuck(p.blockID) || s.retired[p.blockID] {
+		return
+	}
+	s.retired[p.blockID] = true
+	s.m.Faults.GrownBadBlocks++
+	s.ftl.RetireBlock(p.addr)
 }
 
 // hostTransfer moves pages across the host link, then runs next.

@@ -13,16 +13,19 @@ import (
 // With a write cache, the host-visible write completes once the data
 // is buffered in controller DRAM; the channel transfer and program
 // run as a background flush that releases the buffer when durable.
-func (s *SSD) writeCommand(cmd dieCommand, done func()) {
-	die, ch := s.dieOf(cmd)
-
+func (s *SSD) writeCommand(cmd dieCommand, done func(cmdResult)) {
 	var gcTime sim.Time
 	for _, lpn := range cmd.lpns {
 		_, work, err := s.ftl.Write(lpn, s.eng.Now(), s.cfg.GCFreeBlockLow)
 		if err != nil {
-			// An out-of-space plane is a configuration error; surface
-			// it loudly rather than silently dropping writes.
-			panic(err)
+			// An unplaceable write (out of space, every die down) is
+			// dropped: the first error is carried in the run result and
+			// the command completes with a write-error status instead
+			// of panicking mid-simulation.
+			s.m.Faults.DroppedWrites++
+			s.failRun(err)
+			done(cmdResult{writeErr: true})
+			return
 		}
 		if work != nil {
 			gcTime += s.gcTime(work)
@@ -34,6 +37,10 @@ func (s *SSD) writeCommand(cmd dieCommand, done func()) {
 		}
 	}
 
+	// Resolve the target die after the FTL writes: die failover may
+	// have re-homed the pages away from a dead die.
+	die, ch, _ := s.dieOf(cmd)
+
 	pages := len(cmd.lpns)
 	if !s.cache.enabled() {
 		// Write-through: the host waits for the program.
@@ -43,7 +50,7 @@ func (s *SSD) writeCommand(cmd dieCommand, done func()) {
 				pages: pages,
 				label: "W",
 				onDecoded: func() {
-					die.Program(gcTime+s.cfg.Timing.TProg, done)
+					die.Program(gcTime+s.cfg.Timing.TProg, func() { done(cmdResult{}) })
 				},
 			})
 		})
@@ -51,7 +58,7 @@ func (s *SSD) writeCommand(cmd dieCommand, done func()) {
 	}
 	s.cache.acquire(pages, func() {
 		s.hostTransfer(pages, func() {
-			done() // host sees the write complete at buffer time
+			done(cmdResult{}) // host sees the write complete at buffer time
 			addr, _, _ := s.ftl.Lookup(cmd.lpns[0])
 			f := s.flushers[s.cfg.Geometry.DieID(addr)]
 			for i, lpn := range cmd.lpns {

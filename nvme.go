@@ -25,6 +25,10 @@ const (
 	NVMeOK           = nvme.StatusSuccess
 	NVMeInvalidOp    = nvme.StatusInvalidOp
 	NVMeInvalidField = nvme.StatusInvalidField
+	NVMeInternal     = nvme.StatusInternal
+	// NVMeMediaError (SCT 2h / SC 81h, unrecovered read error) is what
+	// a read returns when the device exhausts its retry ladder.
+	NVMeMediaError = nvme.StatusMediaError
 )
 
 // NVMeController owns queue pairs and arbitration.
