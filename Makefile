@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race bench bench-smoke chaos-smoke lint fmt-check vet riflint staticcheck govulncheck
+.PHONY: all build test race shuffle serve-e2e bench bench-smoke chaos-smoke lint fmt-check vet riflint staticcheck govulncheck
 
 all: build test
 
@@ -22,6 +22,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# shuffle reruns the whole suite twice in randomized test order:
+# it catches tests coupled through package state or relying on
+# earlier tests' side effects. CI runs this on every change.
+shuffle:
+	$(GO) test -shuffle=on -count=2 ./...
+
+# serve-e2e drives the rifserve service end to end under the race
+# detector: submit over HTTP, stream NDJSON progress, verify report
+# byte-identity with the dispatcher, scrape /metrics with hostile
+# labels, and shut down gracefully mid-job (exactly one manifest
+# flushed marked partial). CI runs this on every change.
+serve-e2e:
+	$(GO) test -race -count=1 ./internal/serve/ ./cmd/rifserve/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -1,0 +1,104 @@
+// Command rifserve runs the RiF experiment suite as a long-lived HTTP
+// service: POST job specs, stream NDJSON progress, scrape Prometheus
+// metrics, and fetch run manifests — the serving front-end over the
+// same deterministic dispatcher cmd/rifsim drives one-shot.
+//
+// Usage:
+//
+//	rifserve -addr :8080 -queue 8 -jobs 1 -spool runs/
+//
+//	curl -d '{"experiment":"chaos","requests":500,"seed":7}' localhost:8080/jobs
+//	curl localhost:8080/metrics
+//	curl localhost:8080/runs/job-1
+//
+// A job spec is byte-for-byte replayable offline:
+//
+//	rifsim -fig chaos -requests 500 -seed 7
+//
+// prints exactly the bytes GET /jobs/job-1/report serves.
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight jobs are cancelled
+// through the fleet stop hook (running grid cells finish), their
+// manifests are flushed to the spool marked "partial": true, and the
+// HTTP listener drains before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", serve.DefaultQueueDepth,
+		"pending-job queue depth; a full queue rejects submissions with 429 + Retry-After")
+	jobs := flag.Int("jobs", 1, "jobs run concurrently (each job's grid shards across its own -workers pool)")
+	spool := flag.String("spool", "", "directory receiving one manifest collection JSON per finished job (empty disables)")
+	instance := flag.String("instance", "", "value of the instance label added to every /metrics sample")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for the HTTP listener")
+	flag.Parse()
+
+	if *queue < 1 {
+		fmt.Fprintln(os.Stderr, "rifserve: -queue must be >= 1")
+		os.Exit(2)
+	}
+	if *jobs < 1 {
+		fmt.Fprintln(os.Stderr, "rifserve: -jobs must be >= 1")
+		os.Exit(2)
+	}
+	if *spool != "" {
+		if err := os.MkdirAll(*spool, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "rifserve:", err)
+			os.Exit(1)
+		}
+	}
+
+	var labels map[string]string
+	if *instance != "" {
+		labels = map[string]string{"instance": *instance}
+	}
+	srv := serve.New(serve.Config{
+		QueueDepth: *queue,
+		JobWorkers: *jobs,
+		SpoolDir:   *spool,
+		Labels:     labels,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "rifserve: %v: draining (in-flight jobs flush partial manifests)\n", sig)
+		// A second signal force-kills.
+		signal.Stop(sigc)
+		// Cancel jobs first so progress streams reach their terminal
+		// events, then drain the listener.
+		srv.Stop()
+		//riflint:allow wallclock -- host-side HTTP drain deadline, never feeds the sim
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "rifserve: shutdown:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "rifserve: listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "rifserve:", err)
+		os.Exit(1)
+	}
+	<-done
+}

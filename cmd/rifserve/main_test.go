@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestSigtermDrainsWithPartialManifest exercises the signal half of
+// graceful shutdown with the same wiring main uses: SIGTERM is raised
+// against the test process itself, received on a notify channel, and
+// answered with serve.Stop — after which the mid-flight job has
+// flushed exactly one manifest collection marked partial and the
+// service refuses new submissions.
+func TestSigtermDrainsWithPartialManifest(t *testing.T) {
+	spool := t.TempDir()
+	srv := serve.New(serve.Config{QueueDepth: 2, JobWorkers: 1, SpoolDir: spool})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		<-sigc
+		srv.Stop()
+	}()
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"experiment":"chaos","requests":6000,"workers":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var last struct {
+		Event     string `json:"event"`
+		Completed int    `json:"completed"`
+		Partial   bool   `json:"partial"`
+	}
+	raised := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		if last.Event == "cell" && !raised {
+			raised = true
+			if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	<-stopped
+
+	if last.Event != "cancelled" || !last.Partial || last.Completed < 1 || last.Completed >= 12 {
+		t.Fatalf("terminal event %+v, want mid-job cancelled with partial=true", last)
+	}
+
+	names, err := filepath.Glob(filepath.Join(spool, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("spool files after SIGTERM: %v, want exactly one", names)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), `"partial"`); got != 1 || !strings.Contains(string(data), `"partial": true`) {
+		t.Fatalf(`spool file must say "partial": true exactly once (%d found):`+"\n%s", got, data)
+	}
+
+	resp2, err := http.Post(ts.URL+"/jobs?stream=0", "application/json",
+		strings.NewReader(`{"experiment":"chaos"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after SIGTERM: %d, want 503", resp2.StatusCode)
+	}
+}

@@ -35,9 +35,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/obs"
-	"repro/internal/plot"
-	"repro/internal/ssd"
-	"repro/internal/trace"
 )
 
 func main() {
@@ -57,6 +54,11 @@ func main() {
 		"stop launching new grid cells after this wall-clock duration (0 = no limit); completed runs are flushed as partial artifacts")
 	flag.Parse()
 
+	if err := validateFlags(*workers, *requests); err != nil {
+		fmt.Fprintln(os.Stderr, "rifsim:", err)
+		os.Exit(2)
+	}
+
 	p := core.DefaultRunParams()
 	p.Requests = *requests
 	p.Seed = *seed
@@ -65,6 +67,10 @@ func main() {
 	p.Tool = "rifsim"
 	p.Experiment = *fig
 	p.Stop = cancelHook(*timeout)
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rifsim:", err)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -199,201 +205,28 @@ func writeArtifacts(collect *obs.Collection, tracer *obs.Tracer, metricsPath, tr
 	return nil
 }
 
+// validateFlags rejects the numeric CLI inputs that used to be
+// silently reinterpreted: -workers 0 or negative no longer means
+// "auto" (pass nothing to get one worker per CPU), and a non-positive
+// -requests no longer fails deep inside a study.
+func validateFlags(workers, requests int) error {
+	if workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d); omit the flag for one worker per CPU", workers)
+	}
+	if requests < 1 {
+		return fmt.Errorf("-requests must be >= 1 (got %d)", requests)
+	}
+	return nil
+}
+
 // validFigs lists every experiment run accepts, in presentation
 // order; unknown -fig values echo it so the valid set is
 // discoverable from the command line.
-func validFigs() []string {
-	return []string{
-		"6", "7", "8", "17", "18", "19", "overhead",
-		"ablate-chunk", "ablate-buffer", "ablate-accuracy",
-		"ablate-scheduling", "ablate-secondcheck",
-		"refresh", "tenants", "chaos",
-	}
-}
+func validFigs() []string { return core.ValidExperiments() }
 
+// run dispatches one experiment through the dispatcher shared with
+// cmd/rifserve, so a served job's report is byte-identical to the
+// same spec run here.
 func run(out io.Writer, fig string, p core.RunParams) error {
-	switch fig {
-	case "6":
-		tbl, err := core.Fig6(p)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Fig. 6 — SSDone vs SSDzero I/O bandwidth (MB/s)")
-		for _, pe := range core.PaperPECycles {
-			fmt.Fprintf(out, "%dK P/E:\n", pe/1000)
-			for _, w := range []string{"Ali121", "Ali124", "Sys0", "Sys1"} {
-				zero := tbl.Get(ssd.Zero, w, pe)
-				one := tbl.Get(ssd.One, w, pe)
-				if zero <= 0 {
-					fmt.Fprintf(out, "  %-8s SSDzero=%6.0f  SSDone=%6.0f  (n/a)\n", w, zero, one)
-					continue
-				}
-				fmt.Fprintf(out, "  %-8s SSDzero=%6.0f  SSDone=%6.0f  (%+.1f%%)\n",
-					w, zero, one, 100*(one/zero-1))
-			}
-		}
-		return nil
-
-	case "7", "8":
-		results, err := core.Timelines(p.Workers)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Figs. 7/8 — 256-KiB read execution timelines")
-		fmt.Fprint(out, core.FormatTimelines(results))
-		for _, scheme := range []ssd.Scheme{ssd.Zero, ssd.One, ssd.RiF} {
-			gantt, err := core.TimelineGantt(scheme)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "\n%v (1 column = 5us; lowercase = retry):\n%s", scheme, gantt)
-		}
-		return nil
-
-	case "17":
-		tbl, err := core.Fig17(p)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Fig. 17 — I/O bandwidth normalized to SENC")
-		fmt.Fprint(out, tbl.Format(ssd.Sentinel, ssd.AllSchemes(), trace.Names()))
-		for _, pe := range core.PaperPECycles {
-			fmt.Fprintf(out, "RiF over SENC at %dK P/E: %+.1f%% (paper: +23.8/+47.4/+72.1%%)\n",
-				pe/1000, 100*tbl.GeoMeanGain(ssd.RiF, ssd.Sentinel, pe))
-		}
-		var bars []plot.Bar
-		for _, s := range ssd.AllSchemes() {
-			bars = append(bars, plot.Bar{
-				Label: s.String(),
-				Value: 1 + tbl.GeoMeanGain(s, ssd.Sentinel, 2000),
-			})
-		}
-		fmt.Fprintln(out)
-		fmt.Fprint(out, plot.HBar("geomean bandwidth vs SENC at 2K P/E", bars, 50))
-		return nil
-
-	case "18":
-		cells, err := core.Fig18(p, []ssd.Scheme{ssd.Sentinel, ssd.SWR, ssd.SWRPlus, ssd.RPOnly, ssd.RiF})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Fig. 18 — channel usage breakdown")
-		fmt.Fprint(out, core.FormatUsage(cells))
-		return nil
-
-	case "19":
-		curves, err := core.Fig19(p, []ssd.Scheme{ssd.Sentinel, ssd.SWR, ssd.SWRPlus, ssd.RPOnly, ssd.RiF})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Fig. 19 — Ali124 read-latency percentiles")
-		fmt.Fprint(out, core.FormatLatency(curves))
-		for _, pe := range core.PaperPECycles {
-			var series []plot.Series
-			for _, c := range curves {
-				if c.PECycles != pe {
-					continue
-				}
-				s := plot.Series{Name: c.Scheme.String()}
-				for _, pt := range c.CDF {
-					s.Points = append(s.Points, plot.XY{X: pt.X / 1000, Y: pt.F})
-				}
-				series = append(series, s)
-			}
-			fmt.Fprintln(out)
-			fmt.Fprint(out, plot.Chart(
-				fmt.Sprintf("CDF of read latency (ms), %dK P/E cycles", pe/1000),
-				series, 64, 14))
-		}
-		return nil
-
-	case "overhead":
-		o, err := core.OverheadStudy(p)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "§VI-C — RP module overhead")
-		fmt.Fprint(out, o.Format())
-		return nil
-
-	case "ablate-chunk":
-		pts, err := core.AblateChunkSize(p)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Ablation — RP chunk size (paper picks 4 KiB, §V-A1)")
-		fmt.Fprint(out, core.FormatChunkAblation(pts))
-		return nil
-
-	case "ablate-buffer":
-		pts, err := core.AblateECCBuffer(p, ssd.One)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Ablation — channel ECC buffer depth (SSDone at 2K P/E)")
-		fmt.Fprint(out, core.FormatBufferAblation(pts))
-		return nil
-
-	case "ablate-accuracy":
-		pts, err := core.AblateAccuracy(p)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Ablation — RP accuracy floor (RiF at 2K P/E)")
-		fmt.Fprint(out, core.FormatAccuracyAblation(pts))
-		return nil
-
-	case "ablate-scheduling":
-		pts, err := core.AblateDieScheduling(p, []ssd.Scheme{ssd.One, ssd.RiF})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Ablation — die scheduling policy (Sys0 at 2K P/E)")
-		fmt.Fprint(out, core.FormatScheduling(pts))
-		return nil
-
-	case "refresh":
-		pts, err := core.AblateRefreshHorizon(p, ssd.One, 1000)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Study — refresh horizon vs read performance (SSDone at 1K P/E)")
-		fmt.Fprint(out, core.FormatRefresh(pts))
-		return nil
-
-	case "tenants":
-		results, err := core.MultiTenantStudy(p,
-			[]ssd.Scheme{ssd.Sentinel, ssd.SWR, ssd.RiF}, 2000)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Study — multi-queue tenant isolation at 2K P/E")
-		fmt.Fprint(out, core.FormatMultiTenant(results))
-		return nil
-
-	case "chaos":
-		pts, err := core.ChaosStudy(p, nil, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Study — chaos sweep: every fault class injected, Ali124 at 2K P/E")
-		fmt.Fprint(out, core.FormatChaos(pts))
-		return nil
-
-	case "ablate-secondcheck":
-		res, err := core.AblateSecondCheck(p)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "Ablation — footnote-4 second RP pass (RiF at 3K P/E)")
-		_, _, u0, _ := res.Without.Channels.Fractions()
-		_, _, u1, _ := res.With.Channels.Fractions()
-		fmt.Fprintf(out, "without: %7.0f MB/s, uncor %.2f%%, avoided %d\n",
-			res.Without.Bandwidth(), 100*u0, res.Without.AvoidedTransfers)
-		fmt.Fprintf(out, "with:    %7.0f MB/s, uncor %.2f%%, avoided %d\n",
-			res.With.Bandwidth(), 100*u1, res.With.AvoidedTransfers)
-		return nil
-	}
-	return fmt.Errorf("unknown experiment %q; valid figures/ablations: %s",
-		fig, strings.Join(validFigs(), ", "))
+	return core.RunExperiment(out, fig, p)
 }

@@ -39,3 +39,28 @@ func TestValidFigsAreAccepted(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateFlags pins the CLI-side numeric guards: an explicit
+// -workers 0 (or any negative sizing) must fail fast at flag-parse
+// time instead of deadlocking or misbehaving deep inside a study.
+func TestValidateFlags(t *testing.T) {
+	for _, tc := range []struct {
+		workers, requests int
+		ok                bool
+	}{
+		{1, 1, true},
+		{8, 3000, true},
+		{0, 3000, false},
+		{-2, 3000, false},
+		{4, 0, false},
+		{4, -10, false},
+	} {
+		err := validateFlags(tc.workers, tc.requests)
+		if tc.ok && err != nil {
+			t.Errorf("validateFlags(%d, %d) = %v, want nil", tc.workers, tc.requests, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("validateFlags(%d, %d) accepted", tc.workers, tc.requests)
+		}
+	}
+}

@@ -29,7 +29,7 @@ func TestMapOrderScopedToDeepSimPackages(t *testing.T) {
 	}
 	for _, path := range []string{
 		"repro/internal/sim", "repro/internal/ssd", "repro/internal/ldpc",
-		"repro/internal/core", "riflint.test/maporder",
+		"repro/internal/core", "repro/internal/serve", "riflint.test/maporder",
 	} {
 		if !inDeepSimPackage(path) {
 			t.Errorf("expected %s to be in the deep-sim package set", path)

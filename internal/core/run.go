@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/plot"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// This file is the single experiment dispatcher shared by every
+// front-end (cmd/rifsim, cmd/rifserve, tests): one experiment name
+// maps to one study plus its text report. Both the one-shot CLI and
+// the long-running service call RunExperiment with the same
+// RunParams, which is what makes a served job byte-for-byte
+// replayable as a local rifsim invocation.
+
+// ValidExperiments lists every experiment RunExperiment accepts, in
+// presentation order; unknown names echo it so the valid set is
+// discoverable from the command line and the job-spec error message.
+func ValidExperiments() []string {
+	return []string{
+		"6", "7", "8", "17", "18", "19", "overhead",
+		"ablate-chunk", "ablate-buffer", "ablate-accuracy",
+		"ablate-scheduling", "ablate-secondcheck",
+		"refresh", "tenants", "chaos",
+	}
+}
+
+// ValidExperiment reports whether name is a known experiment.
+func ValidExperiment(name string) bool {
+	for _, v := range ValidExperiments() {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate reports errors in the host-facing numeric knobs a CLI flag
+// or job spec feeds into RunParams, so both front-ends reject bad
+// sizing identically instead of silently misbehaving deep inside a
+// study. Workers 0 means auto (one per CPU) and is valid here; the
+// rifsim CLI additionally rejects an explicit -workers 0.
+func (p RunParams) Validate() error {
+	if p.Requests <= 0 {
+		return fmt.Errorf("core: requests must be >= 1 (got %d)", p.Requests)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: workers must be >= 0 (got %d; 0 means one per CPU)", p.Workers)
+	}
+	if p.FootprintPages < 0 {
+		return fmt.Errorf("core: footprint pages must be >= 0 (got %d)", p.FootprintPages)
+	}
+	if err := p.Faults.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunExperiment runs one named experiment with the given params and
+// writes its text report to out. The report bytes depend only on
+// (name, params) — never on worker count or host clock — so any two
+// front-ends given the same inputs produce identical output.
+func RunExperiment(out io.Writer, name string, p RunParams) error {
+	switch name {
+	case "6":
+		tbl, err := Fig6(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Fig. 6 — SSDone vs SSDzero I/O bandwidth (MB/s)")
+		for _, pe := range PaperPECycles {
+			fmt.Fprintf(out, "%dK P/E:\n", pe/1000)
+			for _, w := range []string{"Ali121", "Ali124", "Sys0", "Sys1"} {
+				zero := tbl.Get(ssd.Zero, w, pe)
+				one := tbl.Get(ssd.One, w, pe)
+				if zero <= 0 {
+					fmt.Fprintf(out, "  %-8s SSDzero=%6.0f  SSDone=%6.0f  (n/a)\n", w, zero, one)
+					continue
+				}
+				fmt.Fprintf(out, "  %-8s SSDzero=%6.0f  SSDone=%6.0f  (%+.1f%%)\n",
+					w, zero, one, 100*(one/zero-1))
+			}
+		}
+		return nil
+
+	case "7", "8":
+		results, err := Timelines(p.Workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Figs. 7/8 — 256-KiB read execution timelines")
+		fmt.Fprint(out, FormatTimelines(results))
+		for _, scheme := range []ssd.Scheme{ssd.Zero, ssd.One, ssd.RiF} {
+			gantt, err := TimelineGantt(scheme)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\n%v (1 column = 5us; lowercase = retry):\n%s", scheme, gantt)
+		}
+		return nil
+
+	case "17":
+		tbl, err := Fig17(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Fig. 17 — I/O bandwidth normalized to SENC")
+		fmt.Fprint(out, tbl.Format(ssd.Sentinel, ssd.AllSchemes(), trace.Names()))
+		for _, pe := range PaperPECycles {
+			fmt.Fprintf(out, "RiF over SENC at %dK P/E: %+.1f%% (paper: +23.8/+47.4/+72.1%%)\n",
+				pe/1000, 100*tbl.GeoMeanGain(ssd.RiF, ssd.Sentinel, pe))
+		}
+		var bars []plot.Bar
+		for _, s := range ssd.AllSchemes() {
+			bars = append(bars, plot.Bar{
+				Label: s.String(),
+				Value: 1 + tbl.GeoMeanGain(s, ssd.Sentinel, 2000),
+			})
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, plot.HBar("geomean bandwidth vs SENC at 2K P/E", bars, 50))
+		return nil
+
+	case "18":
+		cells, err := Fig18(p, []ssd.Scheme{ssd.Sentinel, ssd.SWR, ssd.SWRPlus, ssd.RPOnly, ssd.RiF})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Fig. 18 — channel usage breakdown")
+		fmt.Fprint(out, FormatUsage(cells))
+		return nil
+
+	case "19":
+		curves, err := Fig19(p, []ssd.Scheme{ssd.Sentinel, ssd.SWR, ssd.SWRPlus, ssd.RPOnly, ssd.RiF})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Fig. 19 — Ali124 read-latency percentiles")
+		fmt.Fprint(out, FormatLatency(curves))
+		for _, pe := range PaperPECycles {
+			var series []plot.Series
+			for _, c := range curves {
+				if c.PECycles != pe {
+					continue
+				}
+				s := plot.Series{Name: c.Scheme.String()}
+				for _, pt := range c.CDF {
+					s.Points = append(s.Points, plot.XY{X: pt.X / 1000, Y: pt.F})
+				}
+				series = append(series, s)
+			}
+			fmt.Fprintln(out)
+			fmt.Fprint(out, plot.Chart(
+				fmt.Sprintf("CDF of read latency (ms), %dK P/E cycles", pe/1000),
+				series, 64, 14))
+		}
+		return nil
+
+	case "overhead":
+		o, err := OverheadStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "§VI-C — RP module overhead")
+		fmt.Fprint(out, o.Format())
+		return nil
+
+	case "ablate-chunk":
+		pts, err := AblateChunkSize(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Ablation — RP chunk size (paper picks 4 KiB, §V-A1)")
+		fmt.Fprint(out, FormatChunkAblation(pts))
+		return nil
+
+	case "ablate-buffer":
+		pts, err := AblateECCBuffer(p, ssd.One)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Ablation — channel ECC buffer depth (SSDone at 2K P/E)")
+		fmt.Fprint(out, FormatBufferAblation(pts))
+		return nil
+
+	case "ablate-accuracy":
+		pts, err := AblateAccuracy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Ablation — RP accuracy floor (RiF at 2K P/E)")
+		fmt.Fprint(out, FormatAccuracyAblation(pts))
+		return nil
+
+	case "ablate-scheduling":
+		pts, err := AblateDieScheduling(p, []ssd.Scheme{ssd.One, ssd.RiF})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Ablation — die scheduling policy (Sys0 at 2K P/E)")
+		fmt.Fprint(out, FormatScheduling(pts))
+		return nil
+
+	case "refresh":
+		pts, err := AblateRefreshHorizon(p, ssd.One, 1000)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Study — refresh horizon vs read performance (SSDone at 1K P/E)")
+		fmt.Fprint(out, FormatRefresh(pts))
+		return nil
+
+	case "tenants":
+		results, err := MultiTenantStudy(p,
+			[]ssd.Scheme{ssd.Sentinel, ssd.SWR, ssd.RiF}, 2000)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Study — multi-queue tenant isolation at 2K P/E")
+		fmt.Fprint(out, FormatMultiTenant(results))
+		return nil
+
+	case "chaos":
+		pts, err := ChaosStudy(p, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Study — chaos sweep: every fault class injected, Ali124 at 2K P/E")
+		fmt.Fprint(out, FormatChaos(pts))
+		return nil
+
+	case "ablate-secondcheck":
+		res, err := AblateSecondCheck(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Ablation — footnote-4 second RP pass (RiF at 3K P/E)")
+		_, _, u0, _ := res.Without.Channels.Fractions()
+		_, _, u1, _ := res.With.Channels.Fractions()
+		fmt.Fprintf(out, "without: %7.0f MB/s, uncor %.2f%%, avoided %d\n",
+			res.Without.Bandwidth(), 100*u0, res.Without.AvoidedTransfers)
+		fmt.Fprintf(out, "with:    %7.0f MB/s, uncor %.2f%%, avoided %d\n",
+			res.With.Bandwidth(), 100*u1, res.With.AvoidedTransfers)
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q; valid figures/ablations: %s",
+		name, strings.Join(ValidExperiments(), ", "))
+}

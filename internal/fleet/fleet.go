@@ -62,6 +62,35 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// StopAny combines stop predicates: the returned hook reports true as
+// soon as any non-nil input does. Callers with several independent
+// cancellation sources (a server-wide drain, a per-job cancel, a
+// wall-clock timeout) compose them into the single Stop hook
+// RunStop/MapStop poll. Nil inputs are skipped; with no usable inputs
+// the result is nil, which RunStop treats as "never stop".
+func StopAny(stops ...func() bool) func() bool {
+	live := stops[:0:0]
+	for _, s := range stops {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func() bool {
+		for _, s := range live {
+			if s() {
+				return true
+			}
+		}
+		return false
+	}
+}
+
 // Run invokes fn(i) for every i in [0, n) using at most workers
 // concurrent goroutines (Workers resolves the count). With one worker
 // the calls run inline on the calling goroutine, in index order —

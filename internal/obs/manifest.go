@@ -78,10 +78,26 @@ type Collection struct {
 	mu      sync.Mutex
 	runs    []Manifest
 	partial bool
+	onAdd   func(Manifest)
 }
 
 // NewCollection returns an empty collection.
 func NewCollection() *Collection { return &Collection{} }
+
+// SetOnAdd registers a hook invoked after every Add with the manifest
+// just collected (outside the collection's lock, so the hook may call
+// back into the collection). The serving layer uses it to stream
+// per-run progress; completion order across a parallel grid is
+// scheduler-dependent, so hooks must not feed anything
+// order-sensitive. Nil-safe; a nil fn clears the hook.
+func (c *Collection) SetOnAdd(fn func(Manifest)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.onAdd = fn
+	c.mu.Unlock()
+}
 
 // Add appends one run's manifest. Nil-safe.
 func (c *Collection) Add(m Manifest) {
@@ -90,7 +106,11 @@ func (c *Collection) Add(m Manifest) {
 	}
 	c.mu.Lock()
 	c.runs = append(c.runs, m)
+	fn := c.onAdd
 	c.mu.Unlock()
+	if fn != nil {
+		fn(m)
+	}
 }
 
 // Runs returns the collected manifests sorted by (experiment, scheme,
@@ -289,7 +309,21 @@ func promName(name string) string {
 	return s
 }
 
-// promLabels renders a label set as {k="v",...} (empty for none).
+// promLabelValue escapes a label value per the Prometheus text
+// exposition format: exactly backslash, double-quote and newline are
+// escaped (as \\, \" and \n); every other byte — tabs, high Unicode —
+// passes through as raw UTF-8. Go's %q is NOT equivalent: it emits
+// \t, \xNN and \uNNNN escapes the format does not define, so a trace
+// name or fault label containing such bytes would render as malformed
+// exposition text.
+var promLabelValue = strings.NewReplacer(
+	`\`, `\\`,
+	`"`, `\"`,
+	"\n", `\n`,
+)
+
+// promLabels renders a label set as {k="v",...} (empty for none) with
+// values escaped for the exposition format.
 func promLabels(labels map[string]string) string {
 	if len(labels) == 0 {
 		return ""
@@ -301,7 +335,10 @@ func promLabels(labels map[string]string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", promName(k), labels[k])
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		promLabelValue.WriteString(&b, labels[k])
+		b.WriteString(`"`)
 	}
 	b.WriteByte('}')
 	return b.String()

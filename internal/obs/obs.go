@@ -12,6 +12,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -175,7 +176,19 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Quantile estimates the q-th quantile (0..1) by linear interpolation
-// within the containing bucket. Exact min/max anchor the extremes.
+// within the bucket that contains the nearest-rank observation.
+//
+// The edge-case convention matches stats.Sample.Quantile exactly (the
+// exact-percentile path the figures use): an empty histogram yields
+// 0, q <= 0 yields the exact minimum, q >= 1 the exact maximum, and
+// otherwise the target is the ceil(q*n)-th smallest observation
+// (1-based, integer rank — a rank landing exactly on a bucket
+// boundary selects that bucket, never the next one). The estimate is
+// interpolated inside the target's bucket with the bucket bounds
+// clamped to the exact observed [min, max], so it always lies in the
+// same bucket as the exact answer — within one bucket width of
+// stats.Sample on identical data, and exactly equal for empty,
+// single-observation, point-mass and q∈{0,1} cases.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -192,18 +205,28 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q >= 1 {
 		return h.sum.Max()
 	}
-	rank := q * float64(n)
-	var seen float64
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen int64
 	for i, cnt := range h.buckets {
 		if cnt == 0 {
 			continue
 		}
-		if seen+float64(cnt) < rank {
-			seen += float64(cnt)
+		if seen+cnt < rank {
+			seen += cnt
 			continue
 		}
+		// The target rank lands in this bucket: ranks (seen, seen+cnt].
+		// Clamp both bucket edges to the exact extremes so sparse
+		// buckets (single observation, point mass) reproduce the exact
+		// value instead of an interpolated bound.
 		lo := h.sum.Min()
-		if i > 0 {
+		if i > 0 && h.bounds[i-1] > lo {
 			lo = h.bounds[i-1]
 		}
 		hi := h.sum.Max()
@@ -213,7 +236,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if lo > hi {
 			lo = hi
 		}
-		frac := (rank - seen) / float64(cnt)
+		frac := float64(rank-seen) / float64(cnt)
 		return lo + (hi-lo)*frac
 	}
 	return h.sum.Max()

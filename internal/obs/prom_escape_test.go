@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPromLabelEscaping pins the label-value escaping rules of the
+// Prometheus text exposition format: exactly backslash, double-quote
+// and newline are escaped; tabs and non-ASCII pass through raw. Go's
+// %q (the previous implementation) emits \t and \uNNNN escapes the
+// format does not define.
+func TestPromLabelEscaping(t *testing.T) {
+	got := promLabels(map[string]string{
+		"scheme":   `Ri"F\SSD`,
+		"trace":    "line1\nline2",
+		"path":     `C:\dev\nul`,
+		"unicode":  "99\u00b5s\twide",
+		"workload": "plain",
+	})
+	want := `{path="C:\\dev\\nul",scheme="Ri\"F\\SSD",trace="line1\nline2",unicode="99` +
+		"\u00b5s\twide" + `",workload="plain"}`
+	if got != want {
+		t.Fatalf("promLabels escaping:\n got %q\nwant %q", got, want)
+	}
+}
+
+// parsePromText is a miniature exposition-format parser: it walks
+// every line of text, skipping comments, and checks each sample line
+// is NAME{k="v",...} VALUE with label values using only the three
+// legal escapes. It returns the number of sample lines. An unescaped
+// newline inside a label value splits the sample across two lines, so
+// both halves fail the grammar here — the parser catches every class
+// of escaping bug the writer could have.
+func parsePromText(text string) (int, error) {
+	isNameByte := func(b byte) bool {
+		return b == '_' || b == ':' ||
+			(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+	}
+	samples := 0
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := 0
+		for i < len(line) && isNameByte(line[i]) {
+			i++
+		}
+		if i == 0 {
+			return samples, fmt.Errorf("line %d: no metric name: %q", ln+1, line)
+		}
+		if i < len(line) && line[i] == '{' {
+			i++
+			for {
+				start := i
+				for i < len(line) && isNameByte(line[i]) {
+					i++
+				}
+				if i == start || i+1 >= len(line) || line[i] != '=' || line[i+1] != '"' {
+					return samples, fmt.Errorf("line %d: bad label at byte %d: %q", ln+1, i, line)
+				}
+				i += 2
+				for {
+					if i >= len(line) {
+						return samples, fmt.Errorf("line %d: unterminated label value: %q", ln+1, line)
+					}
+					if line[i] == '\\' {
+						if i+1 >= len(line) || (line[i+1] != '\\' && line[i+1] != '"' && line[i+1] != 'n') {
+							return samples, fmt.Errorf("line %d: illegal escape at byte %d: %q", ln+1, i, line)
+						}
+						i += 2
+						continue
+					}
+					if line[i] == '"' {
+						i++
+						break
+					}
+					i++
+				}
+				if i < len(line) && line[i] == ',' {
+					i++
+					continue
+				}
+				break
+			}
+			if i >= len(line) || line[i] != '}' {
+				return samples, fmt.Errorf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			i++
+		}
+		if i >= len(line) || line[i] != ' ' {
+			return samples, fmt.Errorf("line %d: missing value separator: %q", ln+1, line)
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64); err != nil {
+			return samples, fmt.Errorf("line %d: bad value %q: %v", ln+1, line[i+1:], err)
+		}
+		samples++
+	}
+	return samples, nil
+}
+
+// TestSnapshotPrometheusHostileLabels runs a full snapshot exposition
+// with label values containing every character class that needs
+// escaping and validates the output against the format grammar.
+func TestSnapshotPrometheusHostileLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve_jobs_total").Add(5)
+	r.Gauge("serve_queue_depth").Set(2)
+	h := r.Histogram("serve_latency_us")
+	h.Observe(3)
+	h.Observe(900)
+
+	hostile := map[string]string{
+		"instance": "ci\"runner\\1\nblue",
+		"trace":    "Ali\t124\u00b5",
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf, hostile); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	n, err := parsePromText(out)
+	if err != nil {
+		t.Fatalf("hostile-label exposition is malformed: %v\nfull text:\n%s", err, out)
+	}
+	if n == 0 {
+		t.Fatal("exposition produced no samples")
+	}
+	want := `serve_jobs_total{instance="ci\"runner\\1\nblue",trace="Ali` + "\t124\u00b5" + `"} 5`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing escaped sample %q in:\n%s", want, out)
+	}
+	// The raw (unescaped) forms must NOT appear: an embedded newline
+	// would start a bogus line; an unescaped quote would end the value
+	// early.
+	if strings.Contains(out, "runner\\1\nblue") {
+		t.Fatal("label newline reached the exposition unescaped")
+	}
+}
+
+// TestCollectionPrometheusHostileRuns pushes hostile bytes through the
+// multi-run exposition path (scheme/workload labels come from run
+// manifests, i.e. attacker-adjacent trace names).
+func TestCollectionPrometheusHostileRuns(t *testing.T) {
+	m := sampleManifest(`Ri"F\SSD`+"\nv2", 2000)
+	m.Workload = "w\t1"
+	c := NewCollection()
+	c.Add(m)
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parsePromText(buf.String()); err != nil {
+		t.Fatalf("hostile-run exposition is malformed: %v\nfull text:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `scheme="Ri\"F\\SSD\nv2"`) {
+		t.Fatalf("scheme label not escaped:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// These tests pin the cross-implementation quantile contract: the
+// streaming Histogram.Quantile and the exact stats.Sample.Quantile
+// share one edge-case convention (empty -> 0, q<=0 -> min, q>=1 ->
+// max, otherwise nearest-rank ceil(q*n)), and on identical data the
+// histogram estimate always lands in the same bucket as the exact
+// answer — within one bucket width. Fig. 19's tail percentiles are
+// computed through both paths, so a divergence here is a silent
+// corruption of a headline number.
+
+// crossQs are the probed quantiles: the extremes, values that land
+// ranks exactly on bucket/cumulative-count boundaries, and the deep
+// tails the paper reports (P99, P99.99).
+var crossQs = []float64{
+	0, 1e-12, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999, 1 - 1e-12, 1,
+}
+
+// bucketWidthAround reports the clamped width of the histogram bucket
+// containing x; callers use it as the agreement tolerance.
+func bucketWidthAround(h *Histogram, x float64) float64 {
+	i := h.bucketOf(x)
+	lo := h.sum.Min()
+	if i > 0 && h.bounds[i-1] > lo {
+		lo = h.bounds[i-1]
+	}
+	hi := h.sum.Max()
+	if i < len(h.bounds) && h.bounds[i] < hi {
+		hi = h.bounds[i]
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// checkAgreement observes xs into both implementations and asserts
+// the contract at every probed q plus every exact rank boundary k/n.
+func checkAgreement(t *testing.T, name string, bounds, xs []float64) {
+	t.Helper()
+	h := newHistogram(bounds)
+	var s stats.Sample
+	for _, x := range xs {
+		h.Observe(x)
+		s.Add(x)
+	}
+	qs := append([]float64(nil), crossQs...)
+	for k := 1; k <= len(xs) && k <= 64; k++ {
+		qs = append(qs, float64(k)/float64(len(xs)))
+	}
+	for _, q := range qs {
+		got := h.Quantile(q)
+		want := s.Quantile(q)
+		tol := bucketWidthAround(h, want)
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: Quantile(%v) = %v, exact %v, |diff| > bucket width %v",
+				name, q, got, want, tol)
+		}
+	}
+	// The anchored cases must agree exactly, not just within a bucket.
+	if got, want := h.Quantile(0), s.Quantile(0); got != want {
+		t.Errorf("%s: q=0 histogram %v != exact min %v", name, got, want)
+	}
+	if got, want := h.Quantile(1), s.Quantile(1); got != want {
+		t.Errorf("%s: q=1 histogram %v != exact max %v", name, got, want)
+	}
+}
+
+func TestQuantileCrossEmpty(t *testing.T) {
+	h := newHistogram(nil)
+	var s stats.Sample
+	for _, q := range crossQs {
+		if h.Quantile(q) != 0 || s.Quantile(q) != 0 {
+			t.Fatalf("empty: Quantile(%v) = (%v, %v), both must be 0",
+				q, h.Quantile(q), s.Quantile(q))
+		}
+	}
+}
+
+// A single observation must be reproduced exactly at every q: the
+// containing bucket clamps to [min, max] = [x, x].
+func TestQuantileCrossSingleObservation(t *testing.T) {
+	h := newHistogram(ExponentialBuckets(1, 2, 16))
+	var s stats.Sample
+	h.Observe(7.3)
+	s.Add(7.3)
+	for _, q := range crossQs {
+		if got, want := h.Quantile(q), s.Quantile(q); got != want {
+			t.Errorf("single: Quantile(%v) = %v, want exact %v", q, got, want)
+		}
+	}
+}
+
+// A point mass (every observation identical) must be exact at every
+// q, even though the mass sits mid-bucket.
+func TestQuantileCrossPointMass(t *testing.T) {
+	h := newHistogram(ExponentialBuckets(1, 2, 16))
+	var s stats.Sample
+	for i := 0; i < 100; i++ {
+		h.Observe(42)
+		s.Add(42)
+	}
+	for _, q := range crossQs {
+		if got, want := h.Quantile(q), s.Quantile(q); got != want {
+			t.Errorf("point mass: Quantile(%v) = %v, want exact %v", q, got, want)
+		}
+	}
+}
+
+// Ranks landing exactly on cumulative bucket boundaries must select
+// the earlier bucket (nearest-rank: ceil lands ON the boundary, not
+// past it). Ten observations at 1.0 fill bucket (..,1] exactly;
+// q=0.5 over twenty observations is rank 10 — the last observation
+// of that bucket, so the estimate must be exactly 1.0.
+func TestQuantileCrossBucketBoundaryRank(t *testing.T) {
+	h := newHistogram(ExponentialBuckets(1, 2, 12))
+	var s stats.Sample
+	for i := 0; i < 10; i++ {
+		h.Observe(1.0)
+		s.Add(1.0)
+		h.Observe(3.0)
+		s.Add(3.0)
+	}
+	if got, want := s.Quantile(0.5), 1.0; got != want {
+		t.Fatalf("exact median = %v, want %v", got, want)
+	}
+	if got := h.Quantile(0.5); got != 1.0 {
+		t.Errorf("histogram median = %v, want 1.0 (rank 10 lies in the (..,1] bucket)", got)
+	}
+	// One rank past the boundary flips to the next bucket in both.
+	if got, want := s.Quantile(0.55), 3.0; got != want {
+		t.Fatalf("exact q=0.55 = %v, want %v", got, want)
+	}
+	got := h.Quantile(0.55)
+	if got <= 2 || got > 3 {
+		t.Errorf("histogram q=0.55 = %v, want inside (2, 3] (the bucket holding 3.0)", got)
+	}
+	checkAgreement(t, "boundary", ExponentialBuckets(1, 2, 12), nil)
+}
+
+func TestQuantileCrossUniform(t *testing.T) {
+	var xs []float64
+	for i := 1; i <= 1000; i++ {
+		xs = append(xs, float64(i))
+	}
+	checkAgreement(t, "uniform", ExponentialBuckets(1, 2, 20), xs)
+	checkAgreement(t, "uniform/default-buckets", nil, xs)
+}
+
+// A latency-shaped sample: dense body, sparse heavy tail — the Fig. 19
+// regime where the two paths previously disagreed.
+func TestQuantileCrossHeavyTail(t *testing.T) {
+	var xs []float64
+	for i := 0; i < 960; i++ {
+		xs = append(xs, 80+float64(i%40))
+	}
+	for i := 0; i < 39; i++ {
+		xs = append(xs, 4000+250*float64(i))
+	}
+	xs = append(xs, 120000)
+	checkAgreement(t, "heavy tail", nil, xs)
+}
+
+// Percentile is Quantile with the axis scaled by 100; exact-decimal
+// pairs must agree bit-for-bit.
+func TestPercentileQuantileEquivalence(t *testing.T) {
+	var s stats.Sample
+	for i := 1; i <= 357; i++ {
+		s.Add(float64(i * i % 101))
+	}
+	for _, pq := range [][2]float64{{0, 0}, {25, 0.25}, {50, 0.5}, {75, 0.75}, {100, 1}} {
+		if got, want := s.Percentile(pq[0]), s.Quantile(pq[1]); got != want {
+			t.Errorf("Percentile(%v) = %v != Quantile(%v) = %v", pq[0], got, pq[1], want)
+		}
+	}
+}

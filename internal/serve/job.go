@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// JobSpec is the POSTed description of one experiment job. It is the
+// complete input of the run: the same spec executed here, by a later
+// rifserve, or by a local `rifsim -fig <experiment> -requests ...
+// -seed ...` invocation produces a byte-identical report, because the
+// spec carries every value the deterministic simulator consumes and
+// the serving layer adds nothing (worker count and host clocks never
+// reach a simulation).
+type JobSpec struct {
+	// Experiment names the figure/study to run (core.ValidExperiments).
+	Experiment string `json:"experiment"`
+	// Requests is the host-request count per simulation (0 means the
+	// rifsim default of 3000; negative is rejected).
+	Requests int `json:"requests,omitempty"`
+	// Seed drives every random stream (0 means the default seed 1 —
+	// pass the explicit seed when replaying a manifest).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds the fleet pool the job's grid cells shard across
+	// (0 means one per CPU; negative is rejected). Results are
+	// byte-identical for every value.
+	Workers int `json:"workers,omitempty"`
+	// Full simulates the full 2-TiB array instead of the shrunken one.
+	Full bool `json:"full,omitempty"`
+	// Faults configures deterministic fault injection (rates validated
+	// to [0,1]); the zero value injects nothing.
+	Faults faults.Config `json:"faults,omitempty"`
+}
+
+// Params derives the RunParams the dispatcher consumes, after
+// validating the spec. Defaults mirror the rifsim flags so omitted
+// fields mean the same thing in both front-ends.
+func (s JobSpec) Params() (core.RunParams, error) {
+	if s.Experiment == "" {
+		return core.RunParams{}, fmt.Errorf("serve: job spec missing experiment")
+	}
+	if !core.ValidExperiment(s.Experiment) {
+		return core.RunParams{}, fmt.Errorf("serve: unknown experiment %q (valid: %v)",
+			s.Experiment, core.ValidExperiments())
+	}
+	p := core.DefaultRunParams()
+	p.Tool = "rifserve"
+	p.Experiment = s.Experiment
+	if s.Requests != 0 {
+		p.Requests = s.Requests
+	}
+	if s.Seed != 0 {
+		p.Seed = s.Seed
+	}
+	if s.Workers != 0 {
+		p.Workers = s.Workers
+	}
+	p.Shrink = !s.Full
+	p.Faults = s.Faults
+	if err := p.Validate(); err != nil {
+		return core.RunParams{}, err
+	}
+	return p, nil
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle: Queued -> Running -> one of Done, Failed, Cancelled.
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Event is one NDJSON line of a job's progress stream.
+type Event struct {
+	// Event is the transition: queued, running, cell (one grid cell's
+	// manifest collected), done, failed or cancelled.
+	Event string `json:"event"`
+	Job   string `json:"job"`
+	// Experiment echoes the spec on queued/terminal events.
+	Experiment string `json:"experiment,omitempty"`
+	// Completed counts manifests collected so far (cell + terminal
+	// events). Completion order across a parallel grid is
+	// scheduler-dependent; the count is monotonic.
+	Completed int `json:"completed,omitempty"`
+	// Scheme/Workload/PE identify the cell a cell event reports.
+	Scheme   string `json:"scheme,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	PE       int    `json:"pe,omitempty"`
+	// Partial marks a cancelled job's flushed manifests as incomplete.
+	Partial bool `json:"partial,omitempty"`
+	// Error carries the failure on failed events.
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one submitted experiment: its spec, its progress events, and
+// (once finished) its report and manifests.
+type Job struct {
+	// ID is the server-assigned identity ("job-1", "job-2", ...).
+	ID string
+	// Spec is the submitted job description.
+	Spec JobSpec
+
+	mu     sync.Mutex
+	state  State
+	errMsg string
+	report []byte
+	events []Event
+	notify chan struct{}
+
+	// collect gathers the job's per-run manifests; reads are safe at
+	// any time (Collection is internally locked).
+	collect *obs.Collection
+	// cancelled is the per-job half of the grid's stop hook.
+	cancelled atomic.Bool
+	// flushOnce guards the spool flush so cancellation racing normal
+	// completion still writes exactly one manifest file.
+	flushOnce sync.Once
+}
+
+func newJob(id string, spec JobSpec) *Job {
+	j := &Job{
+		ID:      id,
+		Spec:    spec,
+		state:   Queued,
+		notify:  make(chan struct{}),
+		collect: obs.NewCollection(),
+	}
+	j.publish(Event{Event: string(Queued), Experiment: spec.Experiment})
+	return j
+}
+
+// publish appends one event and wakes every stream reader. The job ID
+// is stamped here so callers never repeat it.
+func (j *Job) publish(e Event) {
+	e.Job = j.ID
+	j.mu.Lock()
+	j.events = append(j.events, e)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// setState transitions the job and publishes the matching event.
+func (j *Job) setState(s State, e Event) {
+	j.mu.Lock()
+	j.state = s
+	if e.Error != "" {
+		j.errMsg = e.Error
+	}
+	j.mu.Unlock()
+	e.Event = string(s)
+	e.Experiment = j.Spec.Experiment
+	j.publish(e)
+}
+
+// Cancel requests cancellation: the job's grid stops launching new
+// cells at the next stop-hook poll. Already-running cells finish and
+// their manifests are kept (flushed marked partial).
+func (j *Job) Cancel() { j.cancelled.Store(true) }
+
+// State reports the current lifecycle position and error message.
+func (j *Job) State() (State, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg
+}
+
+// Report returns the finished job's text report (nil until terminal).
+// The bytes are exactly what `rifsim -fig <experiment>` prints for
+// the same spec.
+func (j *Job) Report() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// eventsSince returns events[from:] plus a channel that closes when
+// more arrive; stream readers loop on it.
+func (j *Job) eventsSince(from int) ([]Event, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.events[from:], j.notify
+}
+
+// Status is the JSON shape of GET /jobs and GET /jobs/{id}.
+type Status struct {
+	ID         string  `json:"id"`
+	State      State   `json:"state"`
+	Experiment string  `json:"experiment"`
+	Seed       uint64  `json:"seed"`
+	Requests   int     `json:"requests"`
+	Completed  int     `json:"completed"`
+	Partial    bool    `json:"partial,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Links      JobRefs `json:"links"`
+}
+
+// JobRefs are the per-job endpoints a client follows from a Status.
+type JobRefs struct {
+	Events string `json:"events"`
+	Report string `json:"report"`
+	Runs   string `json:"runs"`
+}
+
+// status snapshots the job for the REST views.
+func (j *Job) status() Status {
+	state, errMsg := j.State()
+	return Status{
+		ID:         j.ID,
+		State:      state,
+		Experiment: j.Spec.Experiment,
+		Seed:       j.seed(),
+		Requests:   j.requests(),
+		Completed:  j.collect.Len(),
+		Partial:    j.collect.Partial(),
+		Error:      errMsg,
+		Links: JobRefs{
+			Events: "/jobs/" + j.ID + "/events",
+			Report: "/jobs/" + j.ID + "/report",
+			Runs:   "/runs/" + j.ID,
+		},
+	}
+}
+
+// seed reports the effective seed (spec default applied).
+func (j *Job) seed() uint64 {
+	if j.Spec.Seed != 0 {
+		return j.Spec.Seed
+	}
+	return core.DefaultRunParams().Seed
+}
+
+// requests reports the effective request count (spec default applied).
+func (j *Job) requests() int {
+	if j.Spec.Requests != 0 {
+		return j.Spec.Requests
+	}
+	return core.DefaultRunParams().Requests
+}

@@ -1,0 +1,475 @@
+// Package serve is the long-running front-end of the experiment
+// suite: an HTTP service that accepts experiment jobs, runs them on
+// the deterministic fleet pool behind a bounded queue with
+// backpressure, streams per-job progress as NDJSON, and exposes the
+// observability subsystem's Prometheus exposition and run manifests.
+//
+// The serving layer is strictly host-side control flow: it decides
+// when simulations start and stop but never feeds a value into one,
+// so a job's results are byte-for-byte replayable from its spec (see
+// JobSpec). Wall-clock time is confined to the HTTP boundary in
+// cmd/rifserve; this package needs none at all.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// Config sizes the service.
+type Config struct {
+	// QueueDepth bounds the jobs waiting to run (beyond the ones
+	// running). A full queue rejects submissions with 429 and a
+	// Retry-After header instead of buffering without bound. 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// JobWorkers is the number of jobs run concurrently (each job's
+	// grid additionally shards across its own fleet pool). 0 means 1.
+	JobWorkers int
+	// SpoolDir, when non-empty, receives one <job-id>.json manifest
+	// collection per finished job — cancelled jobs flush what
+	// completed, marked partial. Empty disables spooling.
+	SpoolDir string
+	// Labels are added to every /metrics sample (values are escaped
+	// for the exposition format, so hostile strings stay well-formed).
+	Labels map[string]string
+}
+
+// DefaultQueueDepth bounds the pending-job queue when Config leaves
+// QueueDepth zero.
+const DefaultQueueDepth = 8
+
+// Server is the rifserve HTTP service: a bounded job queue, the
+// worker loop draining it, and the REST/streaming views over jobs.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+
+	// cellHook, when non-nil, runs synchronously after each cell event
+	// on the job's grid worker goroutine. Tests use it to cancel
+	// deterministically mid-job (the next cell's stop poll is ordered
+	// after the hook returns); it must not block on the server's own
+	// shutdown.
+	cellHook func(j *Job, m obs.Manifest)
+
+	submitted  *obs.Counter
+	rejected   *obs.Counter
+	completed  *obs.Counter
+	failed     *obs.Counter
+	cancelled  *obs.Counter
+	queueDepth *obs.Gauge
+	running    *obs.Gauge
+	jobRuns    *obs.Histogram
+}
+
+// New builds a stopped server; call Start to begin draining the
+// queue.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 1
+	}
+	reg := obs.NewRegistry()
+	return &Server{
+		cfg:        cfg,
+		reg:        reg,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		quit:       make(chan struct{}),
+		jobs:       map[string]*Job{},
+		submitted:  reg.Counter("rifserve_jobs_submitted_total"),
+		rejected:   reg.Counter("rifserve_jobs_rejected_total"),
+		completed:  reg.Counter("rifserve_jobs_completed_total"),
+		failed:     reg.Counter("rifserve_jobs_failed_total"),
+		cancelled:  reg.Counter("rifserve_jobs_cancelled_total"),
+		queueDepth: reg.Gauge("rifserve_queue_depth"),
+		running:    reg.Gauge("rifserve_jobs_running"),
+		jobRuns:    reg.HistogramWith("rifserve_job_manifests", obs.ExponentialBuckets(1, 2, 10)),
+	}
+}
+
+// Start launches the job workers. Safe to call once.
+func (s *Server) Start() {
+	for w := 0; w < s.cfg.JobWorkers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-s.quit:
+					return
+				case j := <-s.queue:
+					s.queueDepth.Set(int64(len(s.queue)))
+					s.runJob(j)
+				}
+			}
+		}()
+	}
+}
+
+// Stop drains the service for shutdown: no new jobs start, in-flight
+// jobs are cancelled through the fleet stop hook (already-running
+// grid cells finish, so their manifests stay valid), their partial
+// collections are flushed exactly once, and still-queued jobs are
+// marked cancelled. Blocks until every worker has returned; safe to
+// call more than once.
+func (s *Server) Stop() {
+	s.once.Do(func() { close(s.quit) })
+	s.mu.Lock()
+	for _, id := range s.order {
+		s.jobs[id].Cancel()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.finishCancelled(j)
+		default:
+			s.queueDepth.Set(int64(len(s.queue)))
+			return
+		}
+	}
+}
+
+// draining reports whether Stop has been requested; it is the
+// server-wide half of every job's grid stop hook.
+func (s *Server) draining() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// submit registers and enqueues a job, or reports queue saturation.
+func (s *Server) submit(spec JobSpec) (*Job, bool) {
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	j := newJob(id, spec)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		s.submitted.Inc()
+		s.queueDepth.Set(int64(len(s.queue)))
+		return j, true
+	default:
+		s.rejected.Inc()
+		// Un-register by ID: a rejected job was never accepted. (The
+		// ID itself is not reused — concurrent submissions may already
+		// hold later ones.)
+		s.mu.Lock()
+		delete(s.jobs, id)
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+}
+
+// job looks up a registered job by ID.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runJob executes one job through the shared experiment dispatcher.
+func (s *Server) runJob(j *Job) {
+	if s.draining() || j.cancelled.Load() {
+		s.finishCancelled(j)
+		return
+	}
+	p, err := j.Spec.Params()
+	if err != nil {
+		// Specs are validated at submission; re-deriving cannot fail
+		// unless the job was mutated, which would be a server bug.
+		j.setState(Failed, Event{Error: err.Error()})
+		s.failed.Inc()
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	j.collect.SetOnAdd(func(m obs.Manifest) {
+		j.publish(Event{
+			Event:     "cell",
+			Completed: j.collect.Len(),
+			Scheme:    m.Scheme,
+			Workload:  m.Workload,
+			PE:        m.PECycles,
+		})
+		if s.cellHook != nil {
+			s.cellHook(j, m)
+		}
+	})
+	p.Collect = j.collect
+	p.Stop = fleet.StopAny(s.draining, j.cancelled.Load)
+	j.setState(Running, Event{})
+
+	var report bytes.Buffer
+	runErr := core.RunExperiment(&report, j.Spec.Experiment, p)
+
+	j.mu.Lock()
+	j.report = report.Bytes()
+	j.mu.Unlock()
+
+	switch {
+	case errors.Is(runErr, fleet.ErrStopped):
+		j.collect.SetPartial(true)
+		s.flush(j)
+		s.cancelled.Inc()
+		j.setState(Cancelled, Event{Completed: j.collect.Len(), Partial: true})
+	case runErr != nil:
+		s.flush(j)
+		s.failed.Inc()
+		j.setState(Failed, Event{Error: runErr.Error(), Completed: j.collect.Len()})
+	default:
+		s.flush(j)
+		s.completed.Inc()
+		s.jobRuns.Observe(float64(j.collect.Len()))
+		j.setState(Done, Event{Completed: j.collect.Len()})
+	}
+}
+
+// finishCancelled marks a job that never ran (drained from the queue
+// or cancelled before start) and flushes its (empty or partial)
+// collection exactly once.
+func (s *Server) finishCancelled(j *Job) {
+	j.collect.SetPartial(true)
+	s.flush(j)
+	s.cancelled.Inc()
+	j.setState(Cancelled, Event{Completed: j.collect.Len(), Partial: true})
+}
+
+// flush writes the job's manifest collection to the spool directory.
+// flushOnce guarantees a job racing cancellation and completion still
+// produces exactly one file; the partial flag is set (or not) before
+// the single write, so a spool file says "partial": true at most
+// once.
+func (s *Server) flush(j *Job) {
+	if s.cfg.SpoolDir == "" {
+		return
+	}
+	j.flushOnce.Do(func() {
+		path := filepath.Join(s.cfg.SpoolDir, j.ID+".json")
+		if err := j.collect.WriteFile(path); err != nil {
+			j.mu.Lock()
+			j.errMsg = "spool: " + err.Error()
+			j.mu.Unlock()
+		}
+	})
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /runs/{id}", s.handleRuns)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// handleSubmit accepts a job spec. The response is an NDJSON progress
+// stream that follows the job to its terminal event; with ?stream=0
+// it is an immediate 202 with the job's status instead. A full queue
+// answers 429 with a Retry-After hint — the backpressure contract
+// that keeps a burst of submissions from buffering without bound.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "serve: bad job spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := spec.Params(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.draining() {
+		http.Error(w, "serve: shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	j, ok := s.submit(spec)
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "serve: job queue full", http.StatusTooManyRequests)
+		return
+	}
+	if r.URL.Query().Get("stream") == "0" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		obs.WriteJSON(w, j.status())
+		return
+	}
+	s.streamEvents(w, r, j)
+}
+
+// handleList returns every known job's status in submission order.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	statuses := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		statuses = append(statuses, j.status())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteJSON(w, statuses)
+}
+
+// handleStatus returns one job's status.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteJSON(w, j.status())
+}
+
+// handleCancel requests cancellation of a queued or running job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	j.Cancel()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	obs.WriteJSON(w, j.status())
+}
+
+// handleEvents streams a job's progress as NDJSON from its first
+// event; it replays history for late subscribers and follows the job
+// to its terminal event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.streamEvents(w, r, j)
+}
+
+// handleReport serves the finished job's text report — the exact
+// bytes `rifsim -fig <experiment>` prints for the same spec.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	state, _ := j.State()
+	if !state.terminal() {
+		http.Error(w, "serve: job not finished", http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(j.Report())
+}
+
+// handleRuns serves the job's manifest collection (the same JSON
+// `rifsim -metrics` writes): complete after Done, the finished cells
+// (marked partial) after cancellation, and whatever has been
+// collected so far while running.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteJSON(w, j.collect)
+}
+
+// handleMetrics serves the server registry in the Prometheus text
+// exposition format with the configured shared labels.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.Snapshot().WritePrometheus(w, s.cfg.Labels)
+}
+
+// handleExperiments lists the experiments a job spec may name.
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteJSON(w, core.ValidExperiments())
+}
+
+// handleHealth is the liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// streamEvents writes a job's events as NDJSON, flushing after each
+// batch, until the job reaches a terminal state or the client goes
+// away. Purely event-driven: it blocks on the job's notify channel,
+// not on a poll timer, so the serving layer needs no wall clock.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		events, more := j.eventsSince(next)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		next += len(events)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if len(events) > 0 && State(events[len(events)-1].Event).terminal() {
+			return
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

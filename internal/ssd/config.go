@@ -257,5 +257,15 @@ func (c Config) Validate() error {
 	case c.RetryBackoff < 0:
 		return fmt.Errorf("ssd: retry backoff %v", c.RetryBackoff)
 	}
+	// The read path's deepest retry round pays
+	// sim.Time(MaxRetryRounds-1)*RetryBackoff of extra sense time; a
+	// ladder deep enough to overflow the int64 sim clock would wrap
+	// into the past and silently corrupt event ordering, so reject it
+	// here instead.
+	if c.RetryBackoff > 0 && c.MaxRetryRounds > 1 &&
+		c.RetryBackoff > sim.MaxTime/sim.Time(c.MaxRetryRounds-1) {
+		return fmt.Errorf("ssd: retry backoff %v over %d rounds overflows the sim clock",
+			c.RetryBackoff, c.MaxRetryRounds)
+	}
 	return nil
 }

@@ -101,24 +101,45 @@ func (s *Sample) sort() {
 	}
 }
 
-// Percentile reports the p-th percentile (0 <= p <= 100) using
-// nearest-rank on the sorted sample. Empty samples yield 0.
-func (s *Sample) Percentile(p float64) float64 {
+// Quantile reports the q-th quantile (0 <= q <= 1) of the sample.
+//
+// This is the repository's reference quantile convention; the
+// streaming estimate in obs.Histogram.Quantile implements the same
+// rules so Fig. 19 tail percentiles agree whichever path computed
+// them:
+//
+//   - empty sample: 0
+//   - q <= 0: the exact minimum; q >= 1: the exact maximum
+//   - otherwise nearest-rank: the value of the ceil(q*n)-th smallest
+//     observation (1-based), with no interpolation between
+//     observations. A rank landing exactly on an integer selects that
+//     observation, not the next one.
+func (s *Sample) Quantile(q float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
 	s.sort()
-	if p <= 0 {
+	if q <= 0 {
 		return s.xs[0]
 	}
-	if p >= 100 {
+	if q >= 1 {
 		return s.xs[len(s.xs)-1]
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(s.xs))))
+	rank := int(math.Ceil(q * float64(len(s.xs))))
 	if rank < 1 {
 		rank = 1
 	}
+	if rank > len(s.xs) {
+		rank = len(s.xs)
+	}
 	return s.xs[rank-1]
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted sample (see Quantile for the exact
+// convention). Empty samples yield 0.
+func (s *Sample) Percentile(p float64) float64 {
+	return s.Quantile(p / 100)
 }
 
 // Max reports the largest observation (0 when empty).
