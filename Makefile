@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race shuffle serve-e2e bench bench-smoke chaos-smoke lint fmt-check vet riflint staticcheck govulncheck
+.PHONY: all build test race shuffle serve-e2e bench bench-smoke chaos-smoke replay-smoke lint fmt-check vet riflint staticcheck govulncheck
 
 all: build test
 
@@ -52,6 +52,13 @@ bench-smoke:
 # panic, no race). CI runs this on every change.
 chaos-smoke:
 	$(GO) run -race ./cmd/rifsim -fig chaos -requests 120 -workers 2 -metrics /dev/null
+
+# replay-smoke streams a 1M-request open-loop replay under the race
+# detector and asserts the heap high-water mark stays within 4 MiB of
+# its early baseline: the flat-memory pin behind "10M-request replays
+# in minutes". CI runs this on every change.
+replay-smoke:
+	REPLAY_SMOKE_REQUESTS=1000000 $(GO) test -race -count=1 -run TestReplaySmokeHeapFlat -v ./internal/replay/
 
 # lint is the network-free gate: formatting, go vet, and the
 # repository's own invariant suite (internal/analysis via

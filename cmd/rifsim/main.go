@@ -13,6 +13,14 @@
 //	rifsim -fig overhead
 //	rifsim -fig chaos -timeout 30s      # fault-injection sweep; timeout/^C cancel
 //	                                    # cleanly and flush partial manifests
+//	rifsim -fig tailsweep               # open-loop P99.99-vs-intensity sweep
+//	rifsim -replay t.csv -rates 10000,20000,50000 -scheme RiFSSD
+//	tracegen -n 1000000 | rifsim -replay - -rate 30000
+//
+// -replay streams a recorded trace (native CSV or MSR-Cambridge,
+// auto-detected) through the open-loop arrival engine: memory stays
+// flat however long the trace is, and latencies come from a mergeable
+// quantile sketch instead of a per-request slice.
 //
 // Run rifsim -fig help (or any unknown figure) to list every
 // experiment and ablation.
@@ -27,6 +35,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -34,12 +43,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/nand"
 	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/ssd"
+	"repro/internal/trace"
 )
 
 func main() {
 	fig := flag.String("fig", "17", "experiment: one of "+strings.Join(validFigs(), ", "))
-	requests := flag.Int("requests", 3000, "host requests per simulation run")
+	replayFile := flag.String("replay", "", "replay a trace file open-loop instead of running -fig (native CSV or MSR-Cambridge format, auto-detected; \"-\" reads stdin)")
+	rate := flag.Float64("rate", 0, "with -replay: Poisson arrival rate in IOPS (0 honours the trace's own timestamps)")
+	rates := flag.String("rates", "", "with -replay: comma-separated Poisson arrival-rate ladder in IOPS (sweeps one cell per rate)")
+	speed := flag.Float64("speed", 1, "with -replay and no rate: trace-timestamp speedup (2 = twice as fast)")
+	schemeName := flag.String("scheme", "RiFSSD", "with -replay: retry scheme to simulate")
+	pe := flag.Int("pe", 2000, "with -replay: P/E cycle wear state")
+	inflight := flag.Int("inflight", 0, "with -replay: open-loop in-flight ring bound (0 = default)")
+	age := flag.Float64("age", 30, "with -replay: initial retention age of cold data, days")
+	requests := flag.Int("requests", 3000, "host requests per simulation run (with -replay: cap per cell; unset replays the whole trace)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "simulate the full 2-TiB array instead of a shrunken one")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
@@ -100,7 +121,23 @@ func main() {
 		out = io.Discard
 	}
 
-	err := run(out, *fig, p)
+	var err error
+	if *replayFile != "" {
+		p.Experiment = "replay"
+		err = runReplay(out, p, replayOptions{
+			file:     *replayFile,
+			rate:     *rate,
+			rates:    *rates,
+			speed:    *speed,
+			scheme:   *schemeName,
+			pe:       *pe,
+			inflight: *inflight,
+			age:      *age,
+			requests: requestsCap(*requests),
+		})
+	} else {
+		err = run(out, *fig, p)
+	}
 	if errors.Is(err, fleet.ErrStopped) {
 		// Cancellation (timeout or ^C) is a clean exit: the completed
 		// cells' manifests are flushed, marked partial.
@@ -229,4 +266,110 @@ func validFigs() []string { return core.ValidExperiments() }
 // same spec run here.
 func run(out io.Writer, fig string, p core.RunParams) error {
 	return core.RunExperiment(out, fig, p)
+}
+
+// replayOptions carries the -replay flag set.
+type replayOptions struct {
+	file     string
+	rate     float64
+	rates    string
+	speed    float64
+	scheme   string
+	pe       int
+	inflight int
+	age      float64
+	requests int64
+}
+
+// requestsCap distinguishes an explicit -requests (a per-cell cap)
+// from the untouched default (replay the whole trace).
+func requestsCap(requests int) int64 {
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "requests" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return int64(requests)
+	}
+	return 0
+}
+
+// parseRates turns -rate/-rates into the sweep ladder (nil = honour
+// the trace's timestamps).
+func parseRates(rate float64, rates string) ([]float64, error) {
+	if rates != "" {
+		if rate != 0 {
+			return nil, fmt.Errorf("-rate and -rates are mutually exclusive")
+		}
+		var out []float64
+		for _, s := range strings.Split(rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("-rates entry %q: want a positive IOPS value", s)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if rate != 0 {
+		if rate < 0 {
+			return nil, fmt.Errorf("-rate %v: want a positive IOPS value", rate)
+		}
+		return []float64{rate}, nil
+	}
+	return nil, nil
+}
+
+// runReplay drives the open-loop trace replay: one cell per arrival
+// rate (or one cell at the trace's own timestamps), reported as a
+// tail-latency table.
+func runReplay(out io.Writer, p core.RunParams, o replayOptions) error {
+	scheme, err := ssd.SchemeByName(o.scheme)
+	if err != nil {
+		return err
+	}
+	ladder, err := parseRates(o.rate, o.rates)
+	if err != nil {
+		return err
+	}
+	if o.file == "-" && len(ladder) > 1 {
+		return fmt.Errorf("stdin replay cannot sweep %d rates (the stream is consumed by the first cell); pass a file or a single -rate", len(ladder))
+	}
+	pageBytes := nand.PaperGeometry().PageBytes
+	open := func() (replay.Source, io.Closer, error) {
+		if o.file == "-" {
+			src, err := trace.NewStream(os.Stdin, pageBytes, -1)
+			return src, nil, err
+		}
+		f, err := os.Open(o.file)
+		if err != nil {
+			return nil, nil, err
+		}
+		src, err := trace.NewStream(f, pageBytes, -1)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return src, f, nil
+	}
+	pts, err := core.ReplaySweep(p, core.ReplayParams{
+		Open:           open,
+		Workload:       o.file,
+		Scheme:         scheme,
+		PECycles:       o.pe,
+		Rates:          ladder,
+		Speed:          o.speed,
+		AgeDays:        o.age,
+		MaxRequests:    o.requests,
+		MaxInFlight:    o.inflight,
+		FootprintPages: p.FootprintPages,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Open-loop replay of %s — %v at %d P/E cycles\n", o.file, scheme, o.pe)
+	fmt.Fprint(out, core.FormatTailSweep(pts))
+	return nil
 }

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"io"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // TestUnknownFigListsValidExperiments pins the CLI contract: a typo'd
@@ -62,5 +68,127 @@ func TestValidateFlags(t *testing.T) {
 		if !tc.ok && err == nil {
 			t.Errorf("validateFlags(%d, %d) accepted", tc.workers, tc.requests)
 		}
+	}
+}
+
+// TestParseRates pins the -rate/-rates ladder parsing: mutual
+// exclusion, positivity, and nil (= trace timestamps) when neither is
+// set.
+func TestParseRates(t *testing.T) {
+	for _, tc := range []struct {
+		rate  float64
+		rates string
+		want  []float64
+		ok    bool
+	}{
+		{0, "", nil, true},
+		{25000, "", []float64{25000}, true},
+		{0, "10000,20000, 30000", []float64{10000, 20000, 30000}, true},
+		{25000, "10000,20000", nil, false}, // mutually exclusive
+		{-5, "", nil, false},
+		{0, "10000,bogus", nil, false},
+		{0, "10000,-2", nil, false},
+	} {
+		got, err := parseRates(tc.rate, tc.rates)
+		if tc.ok && err != nil {
+			t.Errorf("parseRates(%v, %q) = %v, want nil error", tc.rate, tc.rates, err)
+			continue
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("parseRates(%v, %q) accepted", tc.rate, tc.rates)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseRates(%v, %q) = %v, want %v", tc.rate, tc.rates, got, tc.want)
+		}
+	}
+}
+
+// writeTempTrace synthesizes a small native-format trace file.
+func writeTempTrace(t *testing.T, n int) string {
+	t.Helper()
+	spec, err := trace.ByName("Ali124")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := trace.NewGenerator(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = g.Next()
+		reqs[i].At = sim.Time(i) * 25 * sim.Microsecond
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunReplayEndToEnd drives the -replay path over a real file: one
+// cell per ladder rung, table header, and the trace fully consumed.
+func TestRunReplayEndToEnd(t *testing.T) {
+	path := writeTempTrace(t, 150)
+	p := core.DefaultRunParams()
+	p.Workers = 2
+	var buf bytes.Buffer
+	err := runReplay(&buf, p, replayOptions{
+		file:   path,
+		rates:  "20000,40000",
+		speed:  1,
+		scheme: "RiFSSD",
+		pe:     2000,
+		age:    30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "Open-loop replay of "+path) {
+		t.Errorf("missing report header:\n%s", got)
+	}
+	for _, want := range []string{"rateIOPS", "p99.99us", "20000", "40000"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunReplayRejections pins the fail-fast paths: unknown scheme,
+// bad ladder, multi-rate stdin sweep, missing file.
+func TestRunReplayRejections(t *testing.T) {
+	p := core.DefaultRunParams()
+	base := replayOptions{file: "nope.csv", speed: 1, scheme: "RiFSSD", pe: 2000}
+
+	o := base
+	o.scheme = "NotAScheme"
+	if err := runReplay(io.Discard, p, o); err == nil || !strings.Contains(err.Error(), "NotAScheme") {
+		t.Errorf("unknown scheme: err = %v", err)
+	}
+
+	o = base
+	o.rates = "10,bogus"
+	if err := runReplay(io.Discard, p, o); err == nil {
+		t.Error("bad -rates accepted")
+	}
+
+	o = base
+	o.file, o.rates = "-", "10000,20000"
+	if err := runReplay(io.Discard, p, o); err == nil || !strings.Contains(err.Error(), "stdin") {
+		t.Errorf("stdin multi-rate sweep: err = %v", err)
+	}
+
+	o = base
+	o.rate = 10000
+	if err := runReplay(io.Discard, p, o); err == nil {
+		t.Error("missing trace file accepted")
 	}
 }

@@ -39,7 +39,16 @@ func main() {
 	}
 }
 
+// generate streams n requests through a trace.CSVWriter, one at a
+// time: memory is constant in n, so arbitrarily long synthetic traces
+// can feed rifsim -replay (or a pipe) without a file-sized buffer.
 func generate(name string, n int, out string, seed uint64, iops float64) error {
+	if n <= 0 {
+		return fmt.Errorf("-n must be >= 1 (got %d)", n)
+	}
+	if iops <= 0 {
+		return fmt.Errorf("-iops must be > 0 (got %v)", iops)
+	}
 	spec, err := trace.ByName(name)
 	if err != nil {
 		return err
@@ -49,14 +58,6 @@ func generate(name string, n int, out string, seed uint64, iops float64) error {
 		return err
 	}
 	arrivals := sim.NewRNG(seed, 0x77)
-	reqs := make([]trace.Request, 0, n)
-	var at sim.Time
-	for i := 0; i < n; i++ {
-		r := g.Next()
-		at += sim.Time(arrivals.Exponential(1e9 / iops))
-		r.At = at
-		reqs = append(reqs, r)
-	}
 
 	w := os.Stdout
 	if out != "" {
@@ -67,5 +68,15 @@ func generate(name string, n int, out string, seed uint64, iops float64) error {
 		defer f.Close()
 		w = f
 	}
-	return trace.WriteCSV(w, reqs)
+	cw := trace.NewCSVWriter(w)
+	var at sim.Time
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		at += sim.Time(arrivals.Exponential(1e9 / iops))
+		r.At = at
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
 }

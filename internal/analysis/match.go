@@ -29,6 +29,10 @@ var deepSimPackages = map[string]bool{
 	"repro/internal/nvme":   true,
 	"repro/internal/core":   true,
 	"repro/internal/faults": true,
+	// The open-loop arrival engine schedules every host event of a
+	// replay; unordered iteration or wall-clock coupling there would
+	// destroy the worker-count-invariance the tail sweeps pin.
+	"repro/internal/replay": true,
 	// The serving layer feeds job specs into the sim and streams its
 	// output: unordered map iteration there would scramble event and
 	// exposition order just as surely as in the device model. Wall

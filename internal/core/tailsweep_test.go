@@ -1,0 +1,228 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// tailParams sizes a fast open-loop sweep that still queues: a few
+// hundred requests per cell at rates around the shrunk device's knee.
+func tailParams(workers int) RunParams {
+	p := DefaultRunParams()
+	p.Requests = 300
+	p.Workers = workers
+	return p
+}
+
+func TestTailSweepWorkerCountInvariance(t *testing.T) {
+	schemes := []ssd.Scheme{ssd.Sentinel, ssd.RiF}
+	rates := []float64{20000, 40000}
+
+	run := func(workers int) ([]TailPoint, []obs.Manifest) {
+		p := tailParams(workers)
+		p.Collect = obs.NewCollection()
+		p.Tool, p.Experiment = "test", "tailsweep"
+		pts, err := TailSweep(p, schemes, "Ali124", 2000, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts, p.Collect.Runs()
+	}
+
+	seqPts, seqRuns := run(1)
+	for _, workers := range []int{2, 4} {
+		parPts, parRuns := run(workers)
+		if !reflect.DeepEqual(seqPts, parPts) {
+			t.Fatalf("workers=%d tail points differ from sequential", workers)
+		}
+		if FormatTailSweep(seqPts) != FormatTailSweep(parPts) {
+			t.Fatalf("workers=%d rendered report differs from sequential", workers)
+		}
+		if !reflect.DeepEqual(zeroWallTimes(seqRuns), zeroWallTimes(parRuns)) {
+			t.Fatalf("workers=%d manifests differ from sequential", workers)
+		}
+	}
+}
+
+// The acceptance criterion for the tailsweep experiment is that the
+// full report — table, chart and headline gain line — is byte-identical
+// for any -workers value. Pin the exact production call path.
+func TestTailSweepExperimentBytesWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scheme/rate grid")
+	}
+	run := func(workers int) string {
+		var buf bytes.Buffer
+		p := tailParams(workers)
+		p.Requests = 200
+		if err := RunExperiment(&buf, "tailsweep", p); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := run(1)
+	par := run(4)
+	if seq != par {
+		t.Fatalf("tailsweep report differs between workers=1 and workers=4:\n%s\n--- vs ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "RiF P99.99 cut vs SENC") {
+		t.Fatalf("report missing headline gain line:\n%s", seq)
+	}
+}
+
+func TestTailSweepRejectsBadRate(t *testing.T) {
+	if _, err := TailSweep(tailParams(1), []ssd.Scheme{ssd.RiF}, "Ali124", 2000, []float64{10000, 0}); err == nil {
+		t.Fatal("want error for non-positive rate")
+	}
+}
+
+func TestTailGain(t *testing.T) {
+	pts := []TailPoint{
+		{Scheme: ssd.Sentinel, RateIOPS: 10000, P9999: 4000},
+		{Scheme: ssd.RiF, RateIOPS: 10000, P9999: 1000},
+		{Scheme: ssd.RiF, RateIOPS: 20000, P9999: 1200, HeldArrivals: 7},
+		{Scheme: ssd.Sentinel, RateIOPS: 20000, P9999: 8000},
+	}
+	g, err := TailGain(pts, ssd.RiF, ssd.Sentinel, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0.7499 || g > 0.7501 {
+		t.Fatalf("gain = %v, want 0.75", g)
+	}
+	if _, err := TailGain(pts, ssd.RiF, ssd.Sentinel, 30000); err == nil {
+		t.Fatal("want error for missing baseline rate")
+	}
+	if _, err := TailGain(pts, ssd.SWR, ssd.Sentinel, 10000); err == nil {
+		t.Fatal("want error for missing scheme cell")
+	}
+	if _, err := TailGain([]TailPoint{
+		{Scheme: ssd.Sentinel, RateIOPS: 10000, P9999: 0},
+		{Scheme: ssd.RiF, RateIOPS: 10000, P9999: 1},
+	}, ssd.RiF, ssd.Sentinel, 10000); err == nil {
+		t.Fatal("want error for zero baseline")
+	}
+}
+
+func TestBestSubSaturationGain(t *testing.T) {
+	pts := []TailPoint{
+		{Scheme: ssd.Sentinel, RateIOPS: 10000, P9999: 4000},
+		{Scheme: ssd.RiF, RateIOPS: 10000, P9999: 1000},
+		{Scheme: ssd.Sentinel, RateIOPS: 20000, P9999: 20000},
+		// Best raw gain, but RiF is saturated here: must be skipped.
+		{Scheme: ssd.RiF, RateIOPS: 20000, P9999: 1000, HeldArrivals: 9},
+	}
+	g, rate, err := BestSubSaturationGain(pts, ssd.RiF, ssd.Sentinel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 10000 {
+		t.Fatalf("rate = %v, want 10000 (saturated 20000 cell must be skipped)", rate)
+	}
+	if g < 0.7499 || g > 0.7501 {
+		t.Fatalf("gain = %v, want 0.75", g)
+	}
+	if _, _, err := BestSubSaturationGain(pts, ssd.SWR, ssd.Sentinel); err == nil {
+		t.Fatal("want error when scheme has no cells")
+	}
+}
+
+// replayCSV synthesizes a small native-format trace in memory.
+func replayCSV(t *testing.T, n int) []byte {
+	t.Helper()
+	spec, err := trace.ByName("Ali124")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := trace.NewGenerator(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = g.Next()
+		reqs[i].At = sim.Time(i) * 20 * sim.Microsecond
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReplaySweepWorkerCountInvariance(t *testing.T) {
+	data := replayCSV(t, 250)
+	run := func(workers int) []TailPoint {
+		p := tailParams(workers)
+		pts, err := ReplaySweep(p, ReplayParams{
+			Open: func() (replay.Source, io.Closer, error) {
+				s, err := trace.NewStream(bytes.NewReader(data), 4096, -1)
+				return s, nil, err
+			},
+			Workload:       "mem.csv",
+			Scheme:         ssd.RiF,
+			PECycles:       2000,
+			Rates:          []float64{20000, 50000},
+			FootprintPages: p.FootprintPages,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	seq := run(1)
+	par := run(2)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("replay sweep differs between workers=1 and workers=2")
+	}
+	if len(seq) != 2 || seq[0].RateIOPS != 20000 || seq[1].RateIOPS != 50000 {
+		t.Fatalf("unexpected sweep shape: %+v", seq)
+	}
+	for _, pt := range seq {
+		if pt.Requests != 250 {
+			t.Fatalf("cell replayed %d requests, want 250", pt.Requests)
+		}
+	}
+}
+
+func TestReplaySweepTraceTimestamps(t *testing.T) {
+	data := replayCSV(t, 120)
+	p := tailParams(1)
+	pts, err := ReplaySweep(p, ReplayParams{
+		Open: func() (replay.Source, io.Closer, error) {
+			s, err := trace.NewStream(bytes.NewReader(data), 4096, -1)
+			return s, nil, err
+		},
+		Workload:       "mem.csv",
+		Scheme:         ssd.Sentinel,
+		PECycles:       2000,
+		FootprintPages: p.FootprintPages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d cells, want 1 (no rate ladder)", len(pts))
+	}
+	if pts[0].RateIOPS != 0 {
+		t.Fatalf("recorded rate %v for trace-timestamp replay, want 0", pts[0].RateIOPS)
+	}
+	if pts[0].Requests != 120 {
+		t.Fatalf("replayed %d requests, want 120", pts[0].Requests)
+	}
+}
+
+func TestReplaySweepNeedsOpen(t *testing.T) {
+	if _, err := ReplaySweep(tailParams(1), ReplayParams{}); err == nil {
+		t.Fatal("want error for missing Open hook")
+	}
+}

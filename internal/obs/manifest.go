@@ -30,6 +30,9 @@ type Manifest struct {
 	PECycles int    `json:"pe_cycles"`
 	Seed     uint64 `json:"seed"`
 	Requests int    `json:"requests,omitempty"`
+	// RateIOPS is the open-loop arrival intensity of a replay cell
+	// (0 for closed-loop runs).
+	RateIOPS float64 `json:"rate_iops,omitempty"`
 
 	// Config carries the full simulator configuration when the caller
 	// provides one (any JSON-serializable value).
@@ -134,7 +137,10 @@ func (c *Collection) Runs() []Manifest {
 		if a.Workload != b.Workload {
 			return a.Workload < b.Workload
 		}
-		return a.PECycles < b.PECycles
+		if a.PECycles != b.PECycles {
+			return a.PECycles < b.PECycles
+		}
+		return a.RateIOPS < b.RateIOPS
 	})
 	return out
 }

@@ -1,0 +1,98 @@
+package replay
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// TestReplaySmokeHeapFlat is the flat-memory pin: a long streamed
+// replay must not retain per-request state, so the live heap after
+// warm-up stays within a fixed budget no matter how many requests
+// flow through. `make replay-smoke` runs it at 1M requests under
+// -race as a blocking CI step; the default size keeps tier-1 fast.
+func TestReplaySmokeHeapFlat(t *testing.T) {
+	n := int64(50000)
+	if env := os.Getenv("REPLAY_SMOKE_REQUESTS"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("REPLAY_SMOKE_REQUESTS=%q", env)
+		}
+		n = v
+	}
+
+	// liveHeap forces a collection and reports the retained heap.
+	liveHeap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	arr, err := NewPoisson(200000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay memory is O(working set), not O(requests): the FTL's page
+	// map grows with every distinct LPN written and then stops. Size
+	// the footprint (as every experiment does) so the written set
+	// saturates during warm-up — with the raw Table II footprint
+	// (1<<20 pages) the map would keep absorbing new LPNs for the
+	// whole run and mask a genuine per-request leak.
+	spec, err := trace.ByName("Ali124")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.FootprintPages = 1 << 13
+	g, err := trace.NewGenerator(spec, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline uint64
+	var checks int
+	// The budget is far below what per-request retention would cost
+	// (retaining n float64 latencies alone is 8n bytes ≈ 8 MB at the
+	// CI size) but above GC noise and residual working-set growth.
+	const budget = 4 << 20
+	res, err := Run(FromWorkload(g, n), Options{
+		Config:        smallConfig(ssd.RiF, 1000),
+		Arrivals:      arr,
+		AgeDays:       10,
+		ProgressEvery: n / 10,
+		Progress: func(served int64) {
+			h := liveHeap()
+			if baseline == 0 && served >= n/5 {
+				// Warm-up complete: device state, sketch buckets and GC
+				// machinery have materialized.
+				baseline = h
+				return
+			}
+			if baseline == 0 {
+				return
+			}
+			checks++
+			if h > baseline+budget {
+				t.Errorf("live heap %0.1f MiB at %d/%d requests, baseline %0.1f MiB: replay is retaining per-request state",
+					float64(h)/(1<<20), served, n, float64(baseline)/(1<<20))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != n {
+		t.Fatalf("replayed %d of %d", res.Requests, n)
+	}
+	if baseline == 0 || checks == 0 {
+		t.Fatalf("heap high-water never sampled (baseline=%d checks=%d)", baseline, checks)
+	}
+	if res.Latency.N() == 0 {
+		t.Fatal("no latencies sketched")
+	}
+	t.Logf("replayed %d requests, %d heap checks, baseline %0.1f MiB, p99.99=%0.0fus held=%d",
+		n, checks, float64(baseline)/(1<<20), res.Latency.Percentile(99.99), res.Metrics.HeldArrivals)
+}

@@ -8,11 +8,13 @@ package ssd
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/faults"
 	"repro/internal/nand"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Scheme selects the read-retry handling of the simulated SSD (§VI-A).
@@ -68,6 +70,21 @@ func (s Scheme) String() string {
 // AllSchemes lists every scheme in the paper's comparison order.
 func AllSchemes() []Scheme {
 	return []Scheme{Zero, One, Sentinel, SWR, SWRPlus, RPOnly, RiF}
+}
+
+// SchemeByName resolves a scheme from its paper name (as printed by
+// String), case-insensitively.
+func SchemeByName(name string) (Scheme, error) {
+	for _, s := range AllSchemes() {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range AllSchemes() {
+		names = append(names, s.String())
+	}
+	return 0, fmt.Errorf("ssd: unknown scheme %q (want one of %s)", name, strings.Join(names, ", "))
 }
 
 // Timing holds the latency parameters of Table I.
@@ -169,6 +186,21 @@ type Config struct {
 	// ignored). Use with timestamped traces, e.g. trace.Replayer.
 	OpenLoop bool
 
+	// MaxInFlight bounds the open-loop host's outstanding request
+	// count: an arrival that finds the ring full is held (exactly one
+	// is ever pending) and admitted by the next completion, with its
+	// latency still measured from its arrival instant. Zero leaves
+	// admission unbounded, the pre-existing open-loop behaviour. It is
+	// an open-loop-only knob; Validate rejects it with closed-loop
+	// hosts.
+	MaxInFlight int
+
+	// LatencySketch, when non-nil, receives every per-request read
+	// latency (µs) instead of the exact Metrics.ReadLatencies sample,
+	// keeping memory flat for million-request replays. Quantiles then
+	// carry the stats.Sketch error bound.
+	LatencySketch *stats.Sketch `json:"-"`
+
 	// DiePolicy selects read/program scheduling on each die. The
 	// default DieFIFO matches the paper-calibrated results;
 	// DieReadPriority and DieSuspension are modern-controller
@@ -240,6 +272,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ssd: negative P/E cycles %d", c.PECycles)
 	case c.QueueDepth <= 0:
 		return fmt.Errorf("ssd: queue depth %d", c.QueueDepth)
+	case c.MaxInFlight < 0:
+		return fmt.Errorf("ssd: max in-flight %d is negative; use 0 for unbounded open-loop admission", c.MaxInFlight)
+	case c.MaxInFlight > 0 && !c.OpenLoop:
+		return fmt.Errorf("ssd: MaxInFlight=%d is an open-loop knob but OpenLoop is false; closed-loop admission is bounded by QueueDepth — set OpenLoop or drop MaxInFlight", c.MaxInFlight)
 	case c.ECCBufferSlots < 1:
 		return fmt.Errorf("ssd: ECC buffer slots %d", c.ECCBufferSlots)
 	case c.SentinelExtraReadProb < 0 || c.SentinelExtraReadProb > 1:

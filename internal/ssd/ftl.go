@@ -205,6 +205,15 @@ func (f *FTL) invalidate(lpn int64) {
 	p := &f.planes[f.planeIndexOfAddr(e.addr)]
 	if b, ok := p.blocks[e.addr.Block]; ok {
 		delete(b.valid, e.addr.Page)
+		if len(b.valid) == 0 && e.addr.Block != p.cursorBlock {
+			// A closed block just lost its last valid page. Its map's
+			// bucket arrays never shrink, and over a long replay every
+			// write block eventually churns through a fully-grown map —
+			// release it (GC still sees the block as a free victim:
+			// len(nil) == 0; only Write appends to valid, and only for
+			// the open cursor block).
+			b.valid = nil
+		}
 	}
 }
 

@@ -37,6 +37,9 @@ func (q *QueueMetrics) Bandwidth(makespan float64) float64 {
 // Depth requests outstanding and issues nPerQueue requests in total.
 // It returns the device-level metrics plus per-queue breakdowns.
 func (s *SSD) RunQueues(queues []HostQueue, nPerQueue int) (*Metrics, []QueueMetrics, error) {
+	if s.cfg.OpenLoop {
+		return nil, nil, fmt.Errorf("ssd: multi-queue host is closed-loop-only but OpenLoop is set; use Run for open-loop replay")
+	}
 	if len(queues) == 0 {
 		return nil, nil, fmt.Errorf("ssd: no host queues")
 	}

@@ -146,6 +146,15 @@ type Metrics struct {
 	// (DieSuspension policy only).
 	Suspensions int64
 
+	// PeakInFlight is the host ring's high-water outstanding request
+	// count; with Config.MaxInFlight set it never exceeds the bound.
+	PeakInFlight int
+
+	// HeldArrivals counts open-loop arrivals that found the bounded
+	// ring full and waited for a completion before admission: the
+	// saturation signal of an intensity sweep.
+	HeldArrivals int64
+
 	// MediaErrorRequests counts host read requests that completed
 	// with at least one uncorrectable page: the graceful-degradation
 	// outcome (an NVMe media-error status) instead of a stall or

@@ -20,6 +20,16 @@ type Workload interface {
 	InitialAgeDays(lpn int64) float64
 }
 
+// FiniteWorkload is a workload that can run dry, e.g. a streamed
+// trace file. The open-loop host probes Exhausted before every Next
+// and ends the run early when it reports true, so Run(n) with a large
+// n replays "the whole trace". Closed-loop hosts do not probe it:
+// they are sized by request count, not stream length.
+type FiniteWorkload interface {
+	Workload
+	Exhausted() bool
+}
+
 // SSD is one simulated device instance. Build it with New, run it
 // with Run; an instance is single-use.
 type SSD struct {
@@ -52,6 +62,23 @@ type SSD struct {
 	toIssue  int
 	inFlight int
 	lastDone sim.Time
+
+	// Bounded open-loop admission (cfg.MaxInFlight > 0): when the ring
+	// is full the one pending arrival parks here until a completion
+	// admits it. Because arrivals are scheduled as a chain, holding
+	// exactly one request is enough to stall the entire source — the
+	// stream is simply not pulled — so memory stays flat at any
+	// intensity.
+	held    bool
+	heldReq trace.Request
+	heldAt  sim.Time
+
+	// lastArrival is the open-loop host's virtual arrival clock: each
+	// request's latency anchor is max(req.At, previous arrival), so a
+	// stalled admission chain (full ring) cannot shift arrivals later
+	// and hide head-of-line wait, and a wrapped trace cannot move them
+	// into the past.
+	lastArrival sim.Time
 
 	spans   []Span
 	nextCmd int
@@ -239,34 +266,60 @@ func (s *SSD) issueNext() {
 		return
 	}
 	s.toIssue--
-	s.inFlight++
-	req := s.workload.Next()
-	s.startRequest(req, true)
+	s.admit(s.workload.Next(), s.eng.Now(), true)
 }
 
 // scheduleNextArrival drives the open-loop host: each request is
-// admitted at its trace arrival time, independent of completions.
+// admitted at its trace arrival time, independent of completions —
+// unless the bounded ring is full, in which case the arrival parks
+// until a completion admits it (its latency still counts from the
+// arrival instant, so head-of-line wait shows up in the tail).
 func (s *SSD) scheduleNextArrival() {
 	if s.toIssue == 0 {
 		return
 	}
+	if fw, ok := s.workload.(FiniteWorkload); ok && fw.Exhausted() {
+		s.toIssue = 0
+		return
+	}
 	s.toIssue--
 	req := s.workload.Next()
-	at := req.At
-	if at < s.eng.Now() {
-		at = s.eng.Now()
+	arrival := req.At
+	if arrival < s.lastArrival {
+		arrival = s.lastArrival
 	}
-	s.eng.At(at, func() {
-		s.inFlight++
-		s.startRequest(req, false)
+	s.lastArrival = arrival
+	fire := arrival
+	if fire < s.eng.Now() {
+		fire = s.eng.Now()
+	}
+	s.eng.At(fire, func() {
+		if s.cfg.MaxInFlight > 0 && s.inFlight >= s.cfg.MaxInFlight {
+			s.held = true
+			s.heldReq = req
+			s.heldAt = arrival
+			s.m.HeldArrivals++
+			return
+		}
+		s.admit(req, arrival, false)
 		s.scheduleNextArrival()
 	})
 }
 
+// admit puts one request in flight, its latency anchored at arrival.
+func (s *SSD) admit(req trace.Request, arrival sim.Time, chain bool) {
+	s.inFlight++
+	if s.inFlight > s.m.PeakInFlight {
+		s.m.PeakInFlight = s.inFlight
+	}
+	s.startRequest(req, arrival, chain)
+}
+
 // startRequest runs a request and records its completion. In closed
-// loop (chain == true) the completion admits the next request.
-func (s *SSD) startRequest(req trace.Request, chain bool) {
-	start := s.eng.Now()
+// loop (chain == true) the completion admits the next request; in
+// bounded open loop it admits the held arrival, if any, and resumes
+// the arrival chain.
+func (s *SSD) startRequest(req trace.Request, arrival sim.Time, chain bool) {
 	s.runRequest(req, func(res cmdResult) {
 		s.inFlight--
 		s.m.RequestsCompleted++
@@ -277,14 +330,24 @@ func (s *SSD) startRequest(req trace.Request, chain bool) {
 		bytes := int64(req.Pages) * int64(s.cfg.Geometry.PageBytes)
 		if req.Op == trace.Read {
 			s.m.BytesRead += bytes
-			lat := (s.eng.Now() - start).Microseconds()
-			s.m.ReadLatencies.Add(lat)
+			lat := (s.eng.Now() - arrival).Microseconds()
+			if s.cfg.LatencySketch != nil {
+				s.cfg.LatencySketch.Add(lat)
+			} else {
+				s.m.ReadLatencies.Add(lat)
+			}
 			s.readLat.Observe(lat)
 		} else {
 			s.m.BytesWritten += bytes
 		}
 		if chain {
 			s.issueNext()
+		} else if s.held {
+			s.held = false
+			held, heldAt := s.heldReq, s.heldAt
+			s.heldReq = trace.Request{}
+			s.admit(held, heldAt, false)
+			s.scheduleNextArrival()
 		}
 	})
 }

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// SketchAlpha is the default relative-accuracy target of NewSketch:
+// quantile estimates land within ±1% of the exact nearest-rank value.
+const SketchAlpha = 0.01
+
+// SketchMinValue is the smallest positive observation the sketch
+// resolves individually; anything in (0, SketchMinValue) folds into
+// the underflow bucket alongside exact zeros. Latencies in this
+// repository are microseconds (≥ ~0.1), far above the cutoff.
+const SketchMinValue = 1e-9
+
+// Sketch is a mergeable, fixed-memory streaming quantile sketch over
+// non-negative observations (a DDSketch-style log-bucket design):
+// observations land in geometrically spaced buckets whose width is set
+// by the relative-accuracy parameter α, so memory is
+// O(log(max/min)/α) — independent of the observation count. It exists
+// so million-request open-loop replays never retain a per-request
+// latency slice the way the exact Sample does.
+//
+// Error bound, stated against the repository's reference quantile
+// convention (Sample.Quantile, nearest-rank):
+//
+//   - empty sketch: 0; q <= 0: the exact minimum; q >= 1: the exact
+//     maximum — all identical to Sample.
+//   - a single observation, and any point-mass distribution, are
+//     reproduced exactly at every q (estimates are clamped to the
+//     exact observed [min, max]).
+//   - otherwise, for q in (0, 1), let x be Sample.Quantile(q) of the
+//     same data with x >= SketchMinValue; then
+//     |Quantile(q) − x| <= α·x.
+//
+// Observations below SketchMinValue (including zero) share one
+// underflow bucket and are estimated at the exact minimum, so the
+// relative bound above applies to quantiles that land on observations
+// at or above the cutoff. Negative observations panic: latencies are
+// never negative, so one indicates a harness bug (the GeoMean
+// convention).
+type Sketch struct {
+	alpha   float64
+	gamma   float64 // bucket growth (1+α)/(1−α)
+	lnGamma float64
+
+	// counts[i] is the population of log bucket (minKey+i); bucket k
+	// covers (γ^(k−1), γ^k]. The slice grows (amortized) as the
+	// observed range widens and then stays put: steady-state Add is
+	// allocation-free.
+	counts []int64
+	minKey int
+
+	// zero counts observations in [0, SketchMinValue).
+	zero int64
+
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// NewSketch returns an empty sketch with relative accuracy alpha
+// (0 selects SketchAlpha). It panics on alpha outside (0, 1): the
+// accuracy target is a compile-time-style constant of the harness,
+// not runtime input.
+func NewSketch(alpha float64) *Sketch {
+	if alpha == 0 {
+		alpha = SketchAlpha
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stats: sketch alpha %v outside (0, 1)", alpha))
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha:   alpha,
+		gamma:   gamma,
+		lnGamma: math.Log(gamma),
+	}
+}
+
+// Alpha reports the sketch's relative-accuracy parameter.
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// key maps a positive observation to its log-bucket index.
+func (s *Sketch) key(x float64) int {
+	return int(math.Ceil(math.Log(x) / s.lnGamma))
+}
+
+// Add folds one observation into the sketch. Steady state (an
+// observation whose bucket already exists) allocates nothing.
+func (s *Sketch) Add(x float64) {
+	if x < 0 || math.IsNaN(x) {
+		panic(fmt.Sprintf("stats: sketch observation %v", x))
+	}
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	s.sum += x
+	if x < SketchMinValue {
+		s.zero++
+		return
+	}
+	s.bucket(s.key(x))
+}
+
+// bucket increments bucket k, growing the dense range if needed.
+func (s *Sketch) bucket(k int) {
+	if len(s.counts) == 0 {
+		s.counts = append(s.counts, 0)
+		s.minKey = k
+	}
+	if k < s.minKey {
+		grown := make([]int64, len(s.counts)+(s.minKey-k))
+		copy(grown[s.minKey-k:], s.counts)
+		s.counts = grown
+		s.minKey = k
+	}
+	for k >= s.minKey+len(s.counts) {
+		s.counts = append(s.counts, 0)
+	}
+	s.counts[k-s.minKey]++
+}
+
+// N reports the number of observations.
+func (s *Sketch) N() int64 { return s.n }
+
+// Mean reports the arithmetic mean (0 when empty).
+func (s *Sketch) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min reports the smallest observation (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max reports the largest observation (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile estimates the q-th quantile under the documented error
+// bound (see the type comment for the exact convention).
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	rank := int64(math.Ceil(q * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.n {
+		rank = s.n
+	}
+	if rank <= s.zero {
+		// The target observation is below the resolvable cutoff; the
+		// exact minimum is the best (and for all-zero data, exact)
+		// answer.
+		return s.clamp(0)
+	}
+	seen := s.zero
+	for i, cnt := range s.counts {
+		if cnt == 0 {
+			continue
+		}
+		seen += cnt
+		if seen >= rank {
+			k := s.minKey + i
+			// The midpoint (in the 2γ/(γ+1) sense) of bucket
+			// (γ^(k−1), γ^k] is within α of every value in it.
+			return s.clamp(2 * math.Exp(float64(k)*s.lnGamma) / (s.gamma + 1))
+		}
+	}
+	return s.max
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100), mirroring
+// Sample.Percentile.
+func (s *Sketch) Percentile(p float64) float64 {
+	return s.Quantile(p / 100)
+}
+
+// clamp bounds an estimate to the exact observed extremes, which makes
+// single-observation and point-mass data exact.
+func (s *Sketch) clamp(x float64) float64 {
+	if x < s.min {
+		return s.min
+	}
+	if x > s.max {
+		return s.max
+	}
+	return x
+}
+
+// Merge folds other into s. Merging is exact (bucket counts add), so
+// any merge tree over the same observations yields an identical
+// sketch: merge is associative and commutative. Both sketches must
+// share the same alpha; merging across accuracies would silently
+// loosen the documented bound, so it panics instead. The other sketch
+// is not modified; a nil other is a no-op.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if other.alpha != s.alpha {
+		panic(fmt.Sprintf("stats: merging sketches with different alpha (%v vs %v)", s.alpha, other.alpha))
+	}
+	if s.n == 0 {
+		s.min, s.max = other.min, other.max
+	} else {
+		if other.min < s.min {
+			s.min = other.min
+		}
+		if other.max > s.max {
+			s.max = other.max
+		}
+	}
+	s.n += other.n
+	s.sum += other.sum
+	s.zero += other.zero
+	for i, cnt := range other.counts {
+		if cnt == 0 {
+			continue
+		}
+		s.bucket(other.minKey + i)
+		s.counts[other.minKey+i-s.minKey] += cnt - 1 // bucket already added 1
+	}
+}

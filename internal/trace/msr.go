@@ -10,85 +10,167 @@ import (
 	"repro/internal/sim"
 )
 
-// ReadMSR parses block traces in the MSR-Cambridge CSV format, the
-// most common public format for production storage traces:
+// MSRStream incrementally parses block traces in the MSR-Cambridge
+// CSV format, the most common public format for production storage
+// traces:
 //
 //	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
 //
 // Timestamp is in Windows filetime units (100 ns ticks), Offset and
 // Size are bytes, Type is "Read" or "Write". Requests are converted
-// to 16-KiB logical pages with timestamps rebased so the first
+// to pageBytes logical pages with timestamps rebased so the first
 // request arrives at zero; requests on other disks than diskFilter
-// are skipped (use -1 for all disks).
-func ReadMSR(r io.Reader, pageBytes int, diskFilter int) ([]Request, error) {
+// are skipped (use -1 for all disks). Each Next call reads one line,
+// so arbitrarily long traces replay in constant memory.
+type MSRStream struct {
+	ls         *lineScanner
+	pageBytes  int
+	diskFilter int
+	base       int64
+}
+
+// NewMSRStream wraps r for incremental MSR parsing.
+func NewMSRStream(r io.Reader, pageBytes int, diskFilter int) (*MSRStream, error) {
 	if pageBytes <= 0 {
 		return nil, fmt.Errorf("trace: page bytes %d", pageBytes)
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var out []Request
-	var base int64 = -1
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		parts := strings.Split(text, ",")
-		if len(parts) < 6 {
-			return nil, fmt.Errorf("trace: msr line %d: %d fields", line, len(parts))
-		}
-		ts, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
-		if err != nil || ts < 0 {
-			return nil, fmt.Errorf("trace: msr line %d: bad timestamp %q", line, parts[0])
-		}
-		disk, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	return &MSRStream{ls: newLineScanner(r), pageBytes: pageBytes, diskFilter: diskFilter, base: -1}, nil
+}
+
+// Next returns the next request, or io.EOF at the end of the stream.
+func (m *MSRStream) Next() (Request, error) {
+	for {
+		text, err := m.ls.next()
 		if err != nil {
-			return nil, fmt.Errorf("trace: msr line %d: bad disk %q", line, parts[2])
+			return Request{}, err
 		}
-		if diskFilter >= 0 && disk != diskFilter {
-			continue
+		req, ok, err := m.parseLine(text)
+		if err != nil {
+			return Request{}, err
 		}
-		var op Op
-		switch strings.ToLower(strings.TrimSpace(parts[3])) {
-		case "read", "r":
-			op = Read
-		case "write", "w":
-			op = Write
-		default:
-			return nil, fmt.Errorf("trace: msr line %d: bad type %q", line, parts[3])
+		if ok {
+			return req, nil
 		}
-		off, err := strconv.ParseInt(strings.TrimSpace(parts[4]), 10, 64)
-		if err != nil || off < 0 {
-			return nil, fmt.Errorf("trace: msr line %d: bad offset %q", line, parts[4])
-		}
-		size, err := strconv.ParseInt(strings.TrimSpace(parts[5]), 10, 64)
-		if err != nil || size <= 0 {
-			return nil, fmt.Errorf("trace: msr line %d: bad size %q", line, parts[5])
-		}
-		if base < 0 {
-			base = ts
-		}
-		firstPage := off / int64(pageBytes)
-		lastPage := (off + size - 1) / int64(pageBytes)
-		out = append(out, Request{
-			// Filetime ticks are 100 ns.
-			At:    timeFromTicks(ts - base),
-			Op:    op,
-			LPN:   firstPage,
-			Pages: int(lastPage-firstPage) + 1,
-		})
+		// Filtered disk: keep scanning.
 	}
-	if err := sc.Err(); err != nil {
+}
+
+func (m *MSRStream) parseLine(text string) (Request, bool, error) {
+	line := m.ls.line
+	parts := strings.Split(text, ",")
+	if len(parts) < 6 {
+		return Request{}, false, fmt.Errorf("trace: msr line %d: %d fields", line, len(parts))
+	}
+	ts, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil || ts < 0 {
+		return Request{}, false, fmt.Errorf("trace: msr line %d: bad timestamp %q", line, parts[0])
+	}
+	disk, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return Request{}, false, fmt.Errorf("trace: msr line %d: bad disk %q", line, parts[2])
+	}
+	if m.diskFilter >= 0 && disk != m.diskFilter {
+		return Request{}, false, nil
+	}
+	var op Op
+	switch strings.ToLower(strings.TrimSpace(parts[3])) {
+	case "read", "r":
+		op = Read
+	case "write", "w":
+		op = Write
+	default:
+		return Request{}, false, fmt.Errorf("trace: msr line %d: bad type %q", line, parts[3])
+	}
+	off, err := strconv.ParseInt(strings.TrimSpace(parts[4]), 10, 64)
+	if err != nil || off < 0 {
+		return Request{}, false, fmt.Errorf("trace: msr line %d: bad offset %q", line, parts[4])
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(parts[5]), 10, 64)
+	if err != nil || size <= 0 {
+		return Request{}, false, fmt.Errorf("trace: msr line %d: bad size %q", line, parts[5])
+	}
+	if m.base < 0 {
+		m.base = ts
+	}
+	firstPage := off / int64(m.pageBytes)
+	lastPage := (off + size - 1) / int64(m.pageBytes)
+	return Request{
+		// Filetime ticks are 100 ns.
+		At:    timeFromTicks(ts - m.base),
+		Op:    op,
+		LPN:   firstPage,
+		Pages: int(lastPage-firstPage) + 1,
+	}, true, nil
+}
+
+// ReadMSR parses an MSR-format trace into a slice. Long traces should
+// prefer NewMSRStream, which never materializes the slice.
+func ReadMSR(r io.Reader, pageBytes int, diskFilter int) ([]Request, error) {
+	st, err := NewMSRStream(r, pageBytes, diskFilter)
+	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	var out []Request
+	for {
+		req, err := st.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, req)
+	}
 }
 
 // timeFromTicks converts 100-ns filetime ticks to simulation time.
 func timeFromTicks(ticks int64) sim.Time {
 	return sim.Time(ticks) * 100 * sim.Nanosecond
+}
+
+// Compactor streams the Compact transform: it rewrites logical
+// addresses into a dense space of at most footprintPages while
+// preserving the access pattern (same original address maps to the
+// same compact pages). Memory is proportional to the trace's unique
+// address count (its working set), not its length.
+type Compactor struct {
+	footprint int64
+	remap     map[int64]int64
+	next      int64
+}
+
+// NewCompactor returns a streaming compactor; footprintPages <= 0
+// passes requests through unchanged.
+func NewCompactor(footprintPages int64) *Compactor {
+	return &Compactor{footprint: footprintPages, remap: make(map[int64]int64)}
+}
+
+// Apply remaps one request.
+func (c *Compactor) Apply(r Request) Request {
+	if c.footprint <= 0 {
+		return r
+	}
+	// Remap each page run start; keep runs contiguous by mapping the
+	// first page and extending (wrapping within footprint).
+	mapped, ok := c.remap[r.LPN]
+	if !ok {
+		if c.next+int64(r.Pages) > c.footprint {
+			c.next = 0
+		}
+		mapped = c.next
+		c.remap[r.LPN] = mapped
+		c.next += int64(r.Pages)
+	}
+	out := r
+	out.LPN = mapped
+	if mapped+int64(r.Pages) > c.footprint {
+		out.Pages = int(c.footprint - mapped)
+		if out.Pages < 1 {
+			out.Pages = 1
+			out.LPN = 0
+		}
+	}
+	return out
 }
 
 // Compact rewrites the request stream's logical addresses into a
@@ -99,30 +181,76 @@ func Compact(reqs []Request, footprintPages int64) []Request {
 	if footprintPages <= 0 {
 		return reqs
 	}
-	remap := make(map[int64]int64)
-	var next int64
+	c := NewCompactor(footprintPages)
 	out := make([]Request, len(reqs))
 	for i, r := range reqs {
-		// Remap each page run start; keep runs contiguous by mapping
-		// the first page and extending (wrapping within footprint).
-		mapped, ok := remap[r.LPN]
-		if !ok {
-			if next+int64(r.Pages) > footprintPages {
-				next = 0
-			}
-			mapped = next
-			remap[r.LPN] = mapped
-			next += int64(r.Pages)
-		}
-		out[i] = r
-		out[i].LPN = mapped
-		if mapped+int64(r.Pages) > footprintPages {
-			out[i].Pages = int(footprintPages - mapped)
-			if out[i].Pages < 1 {
-				out[i].Pages = 1
-				out[i].LPN = 0
-			}
-		}
+		out[i] = c.Apply(r)
 	}
 	return out
+}
+
+// Stream is the incremental request source the open-loop replay
+// engine consumes: Next returns requests in trace order and io.EOF
+// when the stream ends. CSVStream and MSRStream implement it.
+type Stream interface {
+	Next() (Request, error)
+}
+
+// NewStream sniffs the trace format of r — the native 4-field CSV or
+// the 7-field MSR-Cambridge layout — from its first data line and
+// returns the matching incremental parser. pageBytes sizes the MSR
+// byte-to-page conversion; diskFilter restricts MSR traces to one
+// disk (-1 keeps all).
+func NewStream(r io.Reader, pageBytes, diskFilter int) (Stream, error) {
+	br := bufio.NewReader(r)
+	line, err := peekDataLine(br)
+	if err != nil {
+		// An empty trace is a valid (immediately dry) CSV stream; real
+		// read errors surface on the first Next.
+		return NewCSVStream(br), nil
+	}
+	parts := strings.Split(line, ",")
+	if len(parts) >= 6 {
+		kind := strings.ToLower(strings.TrimSpace(parts[3]))
+		if kind == "read" || kind == "write" || kind == "r" || kind == "w" {
+			return NewMSRStream(br, pageBytes, diskFilter)
+		}
+	}
+	return NewCSVStream(br), nil
+}
+
+// peekDataLine returns the first non-blank, non-comment line of br
+// without consuming it.
+func peekDataLine(br *bufio.Reader) (string, error) {
+	for peekAt := 0; ; {
+		buf, err := br.Peek(1 << 16)
+		if len(buf) == 0 {
+			if err == nil {
+				err = io.EOF
+			}
+			return "", err
+		}
+		for peekAt < len(buf) {
+			nl := strings.IndexByte(string(buf[peekAt:]), '\n')
+			var line string
+			if nl < 0 {
+				if err == nil && len(buf) == 1<<16 {
+					break // line longer than the peek window: re-peek impossible, treat rest as line
+				}
+				line = string(buf[peekAt:])
+				peekAt = len(buf)
+			} else {
+				line = string(buf[peekAt : peekAt+nl])
+				peekAt += nl + 1
+			}
+			line = strings.TrimSpace(line)
+			if line != "" && !strings.HasPrefix(line, "#") {
+				return line, nil
+			}
+			if nl < 0 {
+				return "", io.EOF
+			}
+		}
+		return "", fmt.Errorf("trace: cannot sniff format: first data line exceeds %d bytes", 1<<16)
+	}
 }

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// drain pulls a stream to EOF.
+func drain(t *testing.T, st Stream) []Request {
+	t.Helper()
+	var out []Request
+	for {
+		req, err := st.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		out = append(out, req)
+	}
+}
+
+// TestCSVStreamMatchesReadCSV pins that the incremental parser and the
+// slice parser agree on a round-tripped trace.
+func TestCSVStreamMatchesReadCSV(t *testing.T) {
+	reqs := []Request{
+		{At: 0, Op: Read, LPN: 10, Pages: 1},
+		{At: 1500, Op: Write, LPN: 20, Pages: 4},
+		{At: 99000, Op: Read, LPN: 0, Pages: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := drain(t, NewCSVStream(bytes.NewReader(buf.Bytes())))
+	if len(whole) != len(streamed) {
+		t.Fatalf("lengths diverge: %d vs %d", len(whole), len(streamed))
+	}
+	for i := range whole {
+		if whole[i] != streamed[i] {
+			t.Fatalf("request %d: %+v vs %+v", i, whole[i], streamed[i])
+		}
+	}
+}
+
+// TestCSVWriterStreams pins incremental emission: per-request Write
+// plus Flush produces the identical bytes WriteCSV does.
+func TestCSVWriterStreams(t *testing.T) {
+	reqs := []Request{
+		{At: 100, Op: Read, LPN: 1, Pages: 1},
+		{At: 2000, Op: Write, LPN: 2, Pages: 8},
+	}
+	var whole, streamed bytes.Buffer
+	if err := WriteCSV(&whole, reqs); err != nil {
+		t.Fatal(err)
+	}
+	cw := NewCSVWriter(&streamed)
+	for _, r := range reqs {
+		if err := cw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if whole.String() != streamed.String() {
+		t.Fatalf("streamed bytes diverge:\n%q\nvs\n%q", streamed.String(), whole.String())
+	}
+}
+
+func TestMSRStreamMatchesReadMSR(t *testing.T) {
+	const msr = `128166372003061629,src1,0,Read,8192,16384,1331
+128166372004061629,src1,1,Write,0,4096,900
+128166372013061629,src1,0,Write,40960,8192,544
+128166372023061629,src1,0,Read,0,4096,100
+`
+	whole, err := ReadMSR(strings.NewReader(msr), 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewMSRStream(strings.NewReader(msr), 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := drain(t, st)
+	if len(whole) != 3 || len(streamed) != 3 {
+		t.Fatalf("disk filter: %d whole, %d streamed (want 3)", len(whole), len(streamed))
+	}
+	for i := range whole {
+		if whole[i] != streamed[i] {
+			t.Fatalf("request %d: %+v vs %+v", i, whole[i], streamed[i])
+		}
+	}
+}
+
+// TestNewStreamSniffsFormat pins the format auto-detection both ways.
+func TestNewStreamSniffsFormat(t *testing.T) {
+	csv := "# arrival_us,op,lpn,pages\n0.000,R,5,1\n10.000,W,6,2\n"
+	st, err := NewStream(strings.NewReader(csv), 4096, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*CSVStream); !ok {
+		t.Fatalf("csv input sniffed as %T", st)
+	}
+	if got := drain(t, st); len(got) != 2 || got[1].Op != Write {
+		t.Fatalf("csv parse through sniffer: %+v", got)
+	}
+
+	msr := "128166372003061629,src1,0,Read,8192,16384,1331\n"
+	st, err = NewStream(strings.NewReader(msr), 4096, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*MSRStream); !ok {
+		t.Fatalf("msr input sniffed as %T", st)
+	}
+	if got := drain(t, st); len(got) != 1 || got[0].Pages != 4 {
+		t.Fatalf("msr parse through sniffer: %+v", got)
+	}
+
+	// Empty input is a valid, immediately dry stream.
+	st, err = NewStream(strings.NewReader("# comment only\n"), 4096, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, st); len(got) != 0 {
+		t.Fatalf("empty trace yielded %d requests", len(got))
+	}
+}
+
+// TestCompactorMatchesCompact pins the streaming remap against the
+// slice transform.
+func TestCompactorMatchesCompact(t *testing.T) {
+	reqs := []Request{
+		{LPN: 1 << 40, Pages: 4},
+		{LPN: 1 << 41, Pages: 2},
+		{LPN: 1 << 40, Pages: 4},
+		{LPN: 7, Pages: 1},
+	}
+	whole := Compact(reqs, 8)
+	c := NewCompactor(8)
+	for i, r := range reqs {
+		if got := c.Apply(r); got != whole[i] {
+			t.Fatalf("request %d: streaming %+v vs slice %+v", i, got, whole[i])
+		}
+	}
+}
