@@ -62,7 +62,10 @@ replay-smoke:
 
 # lint is the network-free gate: formatting, go vet, and the
 # repository's own invariant suite (internal/analysis via
-# cmd/riflint). It must pass before every commit.
+# cmd/riflint: simdeterminism, simtime, obssafe, seedflow, hotpath,
+# errorflow, ctxflow). ./... includes internal/analysis and
+# cmd/riflint themselves, so the suite is self-hosting. It must pass
+# before every commit.
 lint: fmt-check vet riflint
 
 fmt-check:

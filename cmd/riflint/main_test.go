@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -90,6 +91,69 @@ func Roll() int { return rand.IntN(6) }
 	}
 	if !strings.Contains(string(out), "process-global random stream") {
 		t.Fatalf("go vet output does not name the violation:\n%s", out)
+	}
+}
+
+// TestJSONOutput drives the built binary with -json on a violating
+// throwaway module and on a clean package: the former must emit a
+// parseable array naming the finding, the latter exactly [].
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs it")
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "riflint")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building riflint: %v\n%s", err, out)
+	}
+
+	dir := filepath.Join(tmp, "badmod")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(dir, "go.mod"), "module badmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), `package badmod
+
+import "math/rand/v2"
+
+func Roll() int { return rand.IntN(6) }
+`)
+	cmd := exec.Command(tool, "-json", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err == nil {
+		t.Fatalf("riflint -json on violating module unexpectedly exited 0:\n%s", out)
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("parsing -json output: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output is empty; expected the globalrand finding")
+	}
+	d := diags[0]
+	if d.Analyzer != "simdeterminism" || d.Category != "globalrand" {
+		t.Errorf("finding attributed to %s/%s, want simdeterminism/globalrand", d.Analyzer, d.Category)
+	}
+	if d.File == "" || d.Line == 0 || d.Column == 0 {
+		t.Errorf("finding position incomplete: %+v", d)
+	}
+	if !strings.Contains(d.Message, "process-global random stream") {
+		t.Errorf("finding message %q does not name the violation", d.Message)
+	}
+
+	clean := exec.Command(tool, "-json", "repro/internal/sim")
+	cleanOut, err := clean.Output()
+	if err != nil {
+		t.Fatalf("riflint -json on clean package failed: %v\n%s", err, cleanOut)
+	}
+	var empty []jsonDiagnostic
+	if err := json.Unmarshal(cleanOut, &empty); err != nil {
+		t.Fatalf("parsing clean -json output: %v\n%s", err, cleanOut)
+	}
+	if len(empty) != 0 {
+		t.Errorf("clean package produced %d findings in -json output", len(empty))
 	}
 }
 

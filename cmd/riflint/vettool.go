@@ -22,15 +22,46 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string // import path in source -> canonical path
 	PackageFile               map[string]string // canonical path -> export data file
+	PackageVetx               map[string]string // canonical path -> vetx facts file
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
+// vetxFacts is the riflint fact payload propagated along the import
+// graph by the go command between vettool invocations.
+type vetxFacts struct {
+	// DeepSim is true when this package is a deep-sim root or imports
+	// a package whose facts say it is deep. This covers the
+	// transitive-importer direction of the blast radius; the
+	// deps-of-importers direction needs the whole module import graph,
+	// which standalone riflint derives via go list but a per-unit
+	// vettool cannot see. The standalone run is the CI-blocking path.
+	DeepSim bool
+}
+
+// deriveVetxDeepSim computes this unit's depth from its imports' facts.
+func deriveVetxDeepSim(cfg *vetConfig) bool {
+	if analysis.IsDeepSimRoot(cfg.ImportPath) {
+		return true
+	}
+	for _, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue
+		}
+		var facts vetxFacts
+		if json.Unmarshal(data, &facts) == nil && facts.DeepSim {
+			return true
+		}
+	}
+	return false
+}
+
 // runVettool analyzes one compilation unit described by cfgPath and
 // prints findings in the plain file:line:col form the go command
-// relays. It always writes the facts file the protocol requires (we
-// carry no facts, so it is a constant placeholder).
+// relays. The facts file the protocol requires carries the deep-sim
+// bit forward along the import graph.
 func runVettool(cfgPath string, stdout, stderr *os.File) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -42,8 +73,13 @@ func runVettool(cfgPath string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "riflint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
+	deepSim := deriveVetxDeepSim(&cfg)
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("riflint has no facts\n"), 0o666); err != nil {
+		facts, err := json.Marshal(vetxFacts{DeepSim: deepSim})
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, facts, 0o666)
+		}
+		if err != nil {
 			fmt.Fprintln(stderr, "riflint:", err)
 			return 1
 		}
@@ -76,6 +112,7 @@ func runVettool(cfgPath string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "riflint:", err)
 		return 1
 	}
+	pkg.DeepSim = deepSim
 
 	diags := analysis.Run([]*analysis.Package{pkg}, analysis.All())
 	for _, d := range diags {

@@ -45,6 +45,12 @@ type Package struct {
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	// DeepSim marks packages inside the maporder blast radius: the
+	// package transitively imports the sim engine or device model, or
+	// feeds output into a package that does. Load derives it from the
+	// import graph; the vettool driver from propagated facts; the
+	// golden harness opts fixtures in.
+	DeepSim bool
 
 	allows map[string]map[int][]string // file -> line -> allowed categories
 }
@@ -66,6 +72,9 @@ func (d Diagnostic) String() string {
 type Pass struct {
 	*Package
 	Analyzer *Analyzer
+	// Prog is the whole-load interprocedural view (call graph, hot
+	// set). It spans every package of the Run, not just this one.
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -138,12 +147,15 @@ func (pkg *Package) buildAllows() {
 }
 
 // Run applies every analyzer to every package and returns the combined
-// diagnostics in (file, line, column, analyzer) order.
+// diagnostics in (file, line, column, analyzer) order. The
+// interprocedural Program is built once over the whole load so
+// analyzers see cross-package call edges.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := NewProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Package: pkg, Analyzer: a}
+			pass := &Pass{Package: pkg, Analyzer: a, Prog: prog}
 			a.Run(pass)
 			diags = append(diags, pass.diags...)
 		}
@@ -171,6 +183,9 @@ func All() []*Analyzer {
 		SimTime,
 		ObsSafe,
 		SeedFlow,
+		HotPath,
+		ErrorFlow,
+		CtxFlow,
 	}
 }
 

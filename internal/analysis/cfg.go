@@ -1,0 +1,138 @@
+package analysis
+
+// A lightweight intra-function control-flow walker. Go's structured
+// statements give an AST whose block structure already encodes the
+// interesting control flow for the lock-state analysis ctxflow runs:
+// the walker linearizes statement lists, forks abstract state at
+// branches, joins it conservatively afterwards, and treats loop bodies
+// as executing under their entry state. That is deliberately weaker
+// than a fixpoint over a basic-block graph — a fact established at the
+// *end* of a loop body is not re-fed to its top — but it is sound for
+// the "may hold a lock" analysis (joins are unions) and costs one
+// linear pass. Gotos and labeled continues are not modeled; none occur
+// in the analyzed packages.
+
+import "go/ast"
+
+// flowState is the abstract state threaded through a flowWalk: a
+// may-hold set of mutex keys (the rendered receiver expression, e.g.
+// "s.mu"). A key held on any path into a statement is held at it.
+type flowState struct {
+	held map[string]bool
+}
+
+func newFlowState() *flowState {
+	return &flowState{held: make(map[string]bool)}
+}
+
+func (s *flowState) clone() *flowState {
+	c := newFlowState()
+	for k := range s.held {
+		c.held[k] = true
+	}
+	return c
+}
+
+// join folds other into s (union: "may be held").
+func (s *flowState) join(other *flowState) {
+	for k := range other.held {
+		s.held[k] = true
+	}
+}
+
+func (s *flowState) acquire(key string) { s.held[key] = true }
+func (s *flowState) release(key string) { delete(s.held, key) }
+
+func (s *flowState) anyHeld() bool { return len(s.held) > 0 }
+
+func (s *flowState) heldKeys() []string {
+	var out []string
+	for k := range s.held {
+		out = append(out, k)
+	}
+	// Deterministic diagnostic order without importing sort for two
+	// elements: simple insertion.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// flowVisitor receives each statement in control-flow order with the
+// abstract state holding on entry to it. It may mutate the state
+// (acquire/release) to model the statement's effect.
+type flowVisitor func(stmt ast.Stmt, state *flowState)
+
+// flowWalk traverses stmts in control-flow order, forking state at
+// branches and joining afterwards. Nested function literals are NOT
+// entered: they execute at an unknown later time under unknown state.
+func flowWalk(stmts []ast.Stmt, state *flowState, visit flowVisitor) {
+	for _, stmt := range stmts {
+		walkStmt(stmt, state, visit)
+	}
+}
+
+func walkStmt(stmt ast.Stmt, state *flowState, visit flowVisitor) {
+	if stmt == nil {
+		return
+	}
+	visit(stmt, state)
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		flowWalk(s.List, state, visit)
+	case *ast.IfStmt:
+		walkStmt(s.Init, state, visit)
+		then := state.clone()
+		flowWalk(s.Body.List, then, visit)
+		if s.Else != nil {
+			els := state.clone()
+			walkStmt(s.Else, els, visit)
+			then.join(els)
+		} else {
+			then.join(state)
+		}
+		*state = *then
+	case *ast.ForStmt:
+		walkStmt(s.Init, state, visit)
+		body := state.clone()
+		walkStmt(s.Post, body, visit)
+		flowWalk(s.Body.List, body, visit)
+		state.join(body)
+	case *ast.RangeStmt:
+		body := state.clone()
+		flowWalk(s.Body.List, body, visit)
+		state.join(body)
+	case *ast.SwitchStmt:
+		walkStmt(s.Init, state, visit)
+		walkCases(s.Body, state, visit)
+	case *ast.TypeSwitchStmt:
+		walkStmt(s.Init, state, visit)
+		walkCases(s.Body, state, visit)
+	case *ast.SelectStmt:
+		walkCases(s.Body, state, visit)
+	case *ast.LabeledStmt:
+		walkStmt(s.Stmt, state, visit)
+	}
+}
+
+// walkCases forks the state per case clause and joins the results:
+// exactly one clause runs, so the after-state is the union of the
+// per-clause exits (plus the entry state for switches that may match
+// nothing).
+func walkCases(body *ast.BlockStmt, state *flowState, visit flowVisitor) {
+	merged := state.clone()
+	for _, clause := range body.List {
+		cs := state.clone()
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			flowWalk(c.Body, cs, visit)
+		case *ast.CommClause:
+			walkStmt(c.Comm, cs, visit)
+			flowWalk(c.Body, cs, visit)
+		}
+		merged.join(cs)
+	}
+	*state = *merged
+}

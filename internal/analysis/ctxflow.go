@@ -1,0 +1,241 @@
+package analysis
+
+// The ctxflow analyzer guards the concurrency layer's shutdown
+// contract. Two checks, both scoped to the goroutine-spawning packages
+// (internal/fleet, internal/serve, internal/replay):
+//
+//   - unstoppable: every `go` statement must thread a stop/cancel
+//     signal into the goroutine it spawns. A signal is a value of a
+//     stop-like type — chan struct{} (any direction), context.Context,
+//     or func() bool (the fleet.StopAny idiom) — referenced anywhere
+//     in the spawned call, including through a function literal bound
+//     once to a local (`cell := func(...) {...}; go func() { cell(i) }()`).
+//     A goroutine with no reachable stop signal runs until process
+//     exit and breaks graceful drain.
+//
+//   - lockedsend: a mutex acquired on some path must not be held
+//     across a blocking channel send. The receiver may need the same
+//     lock to drain the channel — the classic shutdown deadlock. Sends
+//     inside a select that has a default clause are non-blocking and
+//     exempt.
+//
+// Waive a deliberate exception in place with
+//
+//	//riflint:allow unstoppable -- <why this goroutine may outlive stop>
+//	//riflint:allow lockedsend -- <why the receiver cannot need this lock>
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxFlowPackages is the goroutine-spawning layer under the shutdown
+// contract.
+var ctxFlowPackages = map[string]bool{
+	"repro/internal/fleet":  true,
+	"repro/internal/serve":  true,
+	"repro/internal/replay": true,
+}
+
+func inCtxFlowPackage(path string) bool {
+	return ctxFlowPackages[path] || strings.HasPrefix(path, "riflint.test/ctxflow")
+}
+
+// CtxFlow enforces stop-signal threading into goroutines and rejects
+// channel sends under a held mutex.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "goroutines must receive a stop/cancel signal; mutexes must not be held across channel sends",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if !inCtxFlowPackage(pass.PkgPath) {
+		return
+	}
+	for _, file := range pass.Syntax {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, g)
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLockedSends(pass, fd.Body)
+			}
+		}
+	}
+}
+
+// checkGoStmt verifies the spawned call can observe a stop signal.
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	if mentionsStopSignal(pass, g.Call, make(map[*ast.FuncLit]bool)) {
+		return
+	}
+	pass.Report(g.Pos(), "unstoppable", "goroutine spawned without a stop/cancel signal (chan struct{}, context.Context, or func() bool); thread one in so shutdown can drain it")
+}
+
+// mentionsStopSignal walks the spawned call — function expression,
+// arguments, and any function-literal bodies in the subtree — looking
+// for a reference to a stop-like value. Calls to closures bound once
+// to a local variable are followed one level (the fleet cell idiom
+// reaches its stop hook only through the bound closure).
+func mentionsStopSignal(pass *Pass, node ast.Node, seen map[*ast.FuncLit]bool) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if isStopLike(obj.Type()) {
+			found = true
+			return false
+		}
+		// Follow a single-assignment closure binding one level: the
+		// stop hook may live in the bound literal's body.
+		if lit, ok := pass.Prog.bindings[obj]; ok && !seen[lit] {
+			seen[lit] = true
+			if mentionsStopSignal(pass, lit.Body, seen) {
+				found = true
+				return false
+			}
+		}
+		// A called declared function that takes or captures a stop-like
+		// parameter counts when a stop-like value is passed at the call
+		// site — already covered by scanning the arguments above.
+		return true
+	})
+	return found
+}
+
+// isStopLike reports whether t can carry a stop/cancel signal: a
+// struct{}-element channel in any direction, a context.Context, or a
+// func() bool polling hook.
+func isStopLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		if s, ok := u.Elem().Underlying().(*types.Struct); ok && s.NumFields() == 0 {
+			return true
+		}
+	case *types.Signature:
+		return u.Recv() == nil && u.Params().Len() == 0 &&
+			u.Results().Len() == 1 && isBoolType(u.Results().At(0).Type())
+	case *types.Interface:
+		return namedFrom(t, "context", "Context")
+	}
+	return false
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// checkLockedSends runs the flow walker over one function body and
+// flags blocking channel sends while any mutex may be held.
+func checkLockedSends(pass *Pass, body *ast.BlockStmt) {
+	nonBlocking := nonBlockingSends(body)
+	visit := func(stmt ast.Stmt, state *flowState) {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			applyLockCall(pass, s.X, state)
+		case *ast.SendStmt:
+			if nonBlocking[s] || !state.anyHeld() {
+				return
+			}
+			pass.Report(s.Arrow, "lockedsend", "channel send while holding %s; release the lock first or make the send non-blocking", strings.Join(state.heldKeys(), ", "))
+		}
+	}
+	flowWalk(body.List, newFlowState(), visit)
+}
+
+// applyLockCall updates the lock state for x.mu.Lock()-shaped calls.
+func applyLockCall(pass *Pass, expr ast.Expr, state *flowState) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	key := exprKey(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		state.acquire(key)
+	case "Unlock", "RUnlock":
+		state.release(key)
+	}
+}
+
+// exprKey renders a stable textual key for the mutex receiver
+// expression ("s.mu", "pool.workers.mu").
+func exprKey(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[...]"
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	default:
+		return "mutex"
+	}
+}
+
+// nonBlockingSends collects the send statements that appear as the
+// comm clause of a select with a default clause: those never block.
+func nonBlockingSends(body *ast.BlockStmt) map[*ast.SendStmt]bool {
+	out := make(map[*ast.SendStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, clause := range sel.Body.List {
+			if c, ok := clause.(*ast.CommClause); ok && c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			if c, ok := clause.(*ast.CommClause); ok {
+				if send, ok := c.Comm.(*ast.SendStmt); ok {
+					out[send] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

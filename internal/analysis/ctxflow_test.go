@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestCtxFlow(t *testing.T) {
+	runGolden(t, CtxFlow, "riflint.test/ctxflow/basic")
+}
+
+// Stop-threaded goroutines (channel, context, bound func() bool hook)
+// and unlocked or non-blocking sends must pass untouched.
+func TestCtxFlowClean(t *testing.T) {
+	runGoldenClean(t, []*Analyzer{CtxFlow}, "riflint.test/ctxflow/clean")
+}

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestErrorFlow(t *testing.T) {
+	runGolden(t, ErrorFlow, "riflint.test/errorflow/basic")
+}
+
+// The degradation-ladder idioms (wrap-and-return, store, forward,
+// count) must pass untouched.
+func TestErrorFlowClean(t *testing.T) {
+	runGoldenClean(t, []*Analyzer{ErrorFlow}, "riflint.test/errorflow/clean")
+}

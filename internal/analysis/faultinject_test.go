@@ -8,5 +8,5 @@ import "testing"
 // fully flagged, while the clean one — written in the internal/faults
 // idiom — produces no diagnostics.
 func TestFaultInjectorFixture(t *testing.T) {
-	runGoldenSuite(t, []*Analyzer{SeedFlow, SimDeterminism}, "riflint.test/faultinject")
+	runGoldenSuite(t, []*Analyzer{SeedFlow, SimDeterminism}, "riflint.test/suite/faultinject")
 }

@@ -148,6 +148,9 @@ func (fi *fixtureImporter) load(path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fixtures opt into the deep-sim blast radius so the maporder
+	// scoping path runs under test exactly as on the real tree.
+	pkg.DeepSim = strings.HasPrefix(path, "riflint.test/")
 	fi.cache[path] = pkg.Types
 	return pkg, nil
 }
@@ -176,11 +179,25 @@ func runGolden(t *testing.T, a *Analyzer, pkgPath string) {
 	runGoldenSuite(t, []*Analyzer{a}, pkgPath)
 }
 
-// runGoldenSuite checks several analyzers together against one
-// fixture package, for fixtures whose expectations span checkers
-// (e.g. a fault injector that trips both seedflow and
-// simdeterminism).
-func runGoldenSuite(t *testing.T, as []*Analyzer, pkgPath string) {
+// runGoldenClean asserts the analyzers stay silent on a fixture that
+// deliberately carries no `// want` expectations — the positive-space
+// counterpart to a golden: idiomatic code must pass untouched.
+func runGoldenClean(t *testing.T, as []*Analyzer, pkgPath string) {
+	t.Helper()
+	pkg, root := loadGoldenFixture(t, pkgPath)
+	wants, err := parseWants(filepath.Join(root, pkgPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) > 0 {
+		t.Fatalf("clean fixture %s carries `// want` expectations; move them to a flagged fixture", pkgPath)
+	}
+	for _, d := range Run([]*Package{pkg}, as) {
+		t.Errorf("unexpected diagnostic on clean fixture at %s: %s", d.Pos, d.Message)
+	}
+}
+
+func loadGoldenFixture(t *testing.T, pkgPath string) (*Package, string) {
 	t.Helper()
 	root, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
@@ -191,11 +208,27 @@ func runGoldenSuite(t *testing.T, as []*Analyzer, pkgPath string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
 	}
+	return pkg, root
+}
+
+// runGoldenSuite checks several analyzers together against one
+// fixture package, for fixtures whose expectations span checkers
+// (e.g. a fault injector that trips both seedflow and
+// simdeterminism).
+func runGoldenSuite(t *testing.T, as []*Analyzer, pkgPath string) {
+	t.Helper()
+	pkg, root := loadGoldenFixture(t, pkgPath)
 	diags := Run([]*Package{pkg}, as)
 
 	wants, err := parseWants(filepath.Join(root, pkgPath))
 	if err != nil {
 		t.Fatal(err)
+	}
+	// A golden with no expectations asserts nothing and passes
+	// vacuously — a silent hole in the suite. Clean fixtures must opt
+	// in explicitly via runGoldenClean.
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no `// want` expectations; use runGoldenClean for intentionally clean fixtures", pkgPath)
 	}
 
 	matched := make(map[*want]bool)

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestHotPath(t *testing.T) {
+	runGolden(t, HotPath, "riflint.test/hotpath/basic")
+}
+
+// An annotated function written in the scratch-reuse idiom — and its
+// transitive callees — must produce no diagnostics.
+func TestHotPathClean(t *testing.T) {
+	runGoldenClean(t, []*Analyzer{HotPath}, "riflint.test/hotpath/clean")
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"bufio"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestHotPathAnnotationsArePinned cross-checks the static and runtime
+// halves of the hot-path guard: every package carrying a
+// //riflint:hotpath annotation must also carry an AllocsPerRun pin in
+// its tests (so the lint can't drift from what the runtime actually
+// measures), and every package with an AllocsPerRun pin must carry an
+// annotation (so the benchmark guard can't protect code the lint
+// ignores). The two sets are maintained independently; this test is
+// the only thing that keeps them from silently diverging.
+func TestHotPathAnnotationsArePinned(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := map[string]bool{} // package dir, relative to module root
+	pinned := map[string]bool{}
+	// Built by concatenation so this file's own source never matches
+	// its own needle.
+	pinCall := "testing.Allocs" + "PerRun("
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			// Exact-line match: the directive is a whole comment line,
+			// which also keeps the analyzer's own sources (which quote
+			// the directive in strings and prose) out of the set.
+			if !isTest && line == HotPathDirective {
+				annotated[rel] = true
+			}
+			if isTest && strings.Contains(line, pinCall) {
+				pinned[rel] = true
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(annotated) == 0 {
+		t.Fatal("no //riflint:hotpath annotations found outside testdata; the scan is broken")
+	}
+	for _, dir := range sortedKeys(annotated) {
+		if !pinned[dir] {
+			t.Errorf("package %s carries //riflint:hotpath annotations but no testing.AllocsPerRun pin; add a zero-alloc test so the static guard stays backed by a runtime measurement", dir)
+		}
+	}
+	for _, dir := range sortedKeys(pinned) {
+		if !annotated[dir] {
+			t.Errorf("package %s pins allocations with testing.AllocsPerRun but carries no //riflint:hotpath annotation; annotate the measured function so riflint enforces it statically", dir)
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

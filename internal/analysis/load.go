@@ -23,6 +23,7 @@ type listedPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Deps       []string
 	DepOnly    bool
 	Standard   bool
 	Error      *struct{ Err string }
@@ -33,7 +34,7 @@ type listedPackage struct {
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Error",
+		"-json=ImportPath,Dir,Export,GoFiles,Deps,DepOnly,Standard,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -158,6 +159,8 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		}
 	}
 
+	deep := deriveDeepSim(listed)
+
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
 	var pkgs []*Package
@@ -173,7 +176,53 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.DeepSim = deep[t.ImportPath]
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// deriveDeepSim computes the maporder blast radius from the import
+// graph instead of a hand-maintained list: a module package is deep
+// when it transitively imports one of the deepSimRoots (it can perturb
+// event order), or when a package that does depends on it (its output
+// feeds a sim-driven artifact, so unordered iteration there scrambles
+// reports just as surely). go list's Deps field is already transitive,
+// so each direction is a single pass.
+func deriveDeepSim(listed []*listedPackage) map[string]bool {
+	roots := make(map[string]bool, len(deepSimRoots))
+	for _, r := range deepSimRoots {
+		roots[r] = true
+	}
+	module := make(map[string]*listedPackage)
+	for _, p := range listed {
+		if !p.Standard {
+			module[p.ImportPath] = p
+		}
+	}
+	deep := make(map[string]bool)
+	for path, p := range module {
+		if roots[path] {
+			deep[path] = true
+			continue
+		}
+		for _, d := range p.Deps {
+			if roots[d] {
+				deep[path] = true
+				break
+			}
+		}
+	}
+	var importers []string
+	for path := range deep {
+		importers = append(importers, path)
+	}
+	for _, path := range importers {
+		for _, d := range module[path].Deps {
+			if _, ok := module[d]; ok {
+				deep[d] = true
+			}
+		}
+	}
+	return deep
 }

@@ -3,7 +3,6 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // Canonical paths of the packages whose types the analyzers key on.
@@ -11,38 +10,30 @@ import (
 // the matchers behave identically in tests.
 const (
 	simPkgPath = "repro/internal/sim"
+	ssdPkgPath = "repro/internal/ssd"
 	obsPkgPath = "repro/internal/obs"
 )
 
-// deepSimPackages are the packages where unordered map iteration can
-// perturb event order or run output — the blast radius of the
-// maporder check. Fixture packages (riflint.test/...) opt in so the
-// golden tests exercise the same code path.
-var deepSimPackages = map[string]bool{
-	"repro/internal/sim":    true,
-	"repro/internal/ssd":    true,
-	"repro/internal/nand":   true,
-	"repro/internal/chip":   true,
-	"repro/internal/odear":  true,
-	"repro/internal/ecc":    true,
-	"repro/internal/ldpc":   true,
-	"repro/internal/nvme":   true,
-	"repro/internal/core":   true,
-	"repro/internal/faults": true,
-	// The open-loop arrival engine schedules every host event of a
-	// replay; unordered iteration or wall-clock coupling there would
-	// destroy the worker-count-invariance the tail sweeps pin.
-	"repro/internal/replay": true,
-	// The serving layer feeds job specs into the sim and streams its
-	// output: unordered map iteration there would scramble event and
-	// exposition order just as surely as in the device model. Wall
-	// clock stays allowed only at the HTTP boundary via
-	// //riflint:allow annotations.
-	"repro/internal/serve": true,
-}
+// deepSimRoots seed the maporder blast radius: the event engine and
+// the device model it drives. The full deep set is derived from the
+// import graph at load time (see deriveDeepSim in load.go) — any
+// module package that transitively imports a root, or that such an
+// importer depends on, is deep. PRs 4–6 each had to remember to
+// extend the old hand-maintained package list; the derivation can't
+// be forgotten.
+var deepSimRoots = []string{simPkgPath, ssdPkgPath}
 
-func inDeepSimPackage(path string) bool {
-	return deepSimPackages[path] || strings.HasPrefix(path, "riflint.test/")
+// IsDeepSimRoot reports whether path seeds the deep-sim blast radius.
+// Exported for the vettool driver, which derives package depth from
+// facts propagated along the import graph rather than a whole-module
+// go list.
+func IsDeepSimRoot(path string) bool {
+	for _, r := range deepSimRoots {
+		if r == path {
+			return true
+		}
+	}
+	return false
 }
 
 // namedFrom reports whether t (after stripping pointers) is the named

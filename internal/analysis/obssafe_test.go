@@ -3,11 +3,11 @@ package analysis
 import "testing"
 
 func TestObsSafe(t *testing.T) {
-	runGolden(t, ObsSafe, "riflint.test/obssafe")
+	runGolden(t, ObsSafe, "riflint.test/obssafe/basic")
 }
 
 // The obs package itself constructs instruments; analyzing the stub
 // under the real import path must report nothing.
 func TestObsSafeExemptsObsPackage(t *testing.T) {
-	runGolden(t, ObsSafe, "repro/internal/obs")
+	runGoldenClean(t, []*Analyzer{ObsSafe}, "repro/internal/obs")
 }

@@ -3,5 +3,5 @@ package analysis
 import "testing"
 
 func TestSeedFlow(t *testing.T) {
-	runGolden(t, SeedFlow, "riflint.test/seedflow")
+	runGolden(t, SeedFlow, "riflint.test/seedflow/basic")
 }

@@ -96,7 +96,7 @@ func checkGlobalRand(pass *Pass, sel *ast.SelectorExpr) {
 // loop (unless it is sorted afterwards in the same function), writes
 // formatted output, sends on a channel, or schedules simulator events.
 func checkMapOrder(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) {
-	if !inDeepSimPackage(pass.PkgPath) {
+	if !pass.DeepSim {
 		return
 	}
 	tv, ok := pass.TypesInfo.Types[rs.X]

@@ -3,11 +3,11 @@ package analysis
 import "testing"
 
 func TestSimTime(t *testing.T) {
-	runGolden(t, SimTime, "riflint.test/simtime")
+	runGolden(t, SimTime, "riflint.test/simtime/basic")
 }
 
 // The sim package defines the unit system and is exempt: analyzing
 // the stub itself (same import path) must report nothing.
 func TestSimTimeExemptsUnitDefinitions(t *testing.T) {
-	runGolden(t, SimTime, "repro/internal/sim")
+	runGoldenClean(t, []*Analyzer{SimTime}, "repro/internal/sim")
 }

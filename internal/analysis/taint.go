@@ -1,0 +1,245 @@
+package analysis
+
+// Error-value taint tracking for the errorflow analyzer. The engine
+// answers two questions about a function body:
+//
+//  1. Does this statement list "consume" a given error variable —
+//     return it (or a replacement error), pass it to a function, store
+//     it somewhere that outlives the function, panic, or count the
+//     event on an instrument? A checked-but-unconsumed error is a
+//     silently swallowed failure.
+//
+//  2. Is an error variable's definition dead — overwritten by a later
+//     assignment in the same statement list with no read in between?
+//
+// Both are deliberately flow-light: consumption looks for syntactic
+// evidence anywhere in the region, and dead definitions are only
+// flagged between *sibling* statements of one block (where execution
+// order is linear and the result is exact), never across branches or
+// loop back-edges.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// errorResultIndexes returns the positions of error-typed results in a
+// call's result tuple (or a single-value call's sole result).
+func errorResultIndexes(info *types.Info, call *ast.CallExpr) []int {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		var out []int
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+		return out
+	default:
+		if isErrorType(t) {
+			return []int{0}
+		}
+	}
+	return nil
+}
+
+// consumesError reports whether the region rooted at node consumes the
+// error object err: uses it as a call/panic argument, mentions it in a
+// return, assigns it to a non-blank destination, sends it on a
+// channel, or — the counting idiom — updates an obs instrument or
+// bumps a counter-shaped field (IncDec / += on a named location).
+func consumesError(info *types.Info, node ast.Node, err types.Object) bool {
+	consumed := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if consumed {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if mentionsObject(info, arg, err) {
+					consumed = true
+					return false
+				}
+			}
+			if isInstrumentCall(info, n) {
+				consumed = true
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if mentionsObject(info, res, err) || producesError(info, res) {
+					consumed = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// err handed to a non-blank destination (a field, another
+			// variable) survives the guard; compound assignments that
+			// bump a counter-shaped location count the event.
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.OR_ASSIGN {
+				consumed = true
+				return false
+			}
+			for _, rhs := range n.Rhs {
+				if mentionsObject(info, rhs, err) {
+					consumed = true
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			consumed = true
+			return false
+		case *ast.SendStmt:
+			if mentionsObject(info, n.Value, err) {
+				consumed = true
+				return false
+			}
+		case *ast.BranchStmt:
+			// goto/break/continue alone do not consume; keep walking.
+		}
+		return true
+	})
+	return consumed
+}
+
+// producesError reports whether expr's static type is error — a
+// replacement error (fmt.Errorf wrap, sentinel, status conversion)
+// being handed back in place of the checked one.
+func producesError(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && isErrorType(tv.Type)
+}
+
+// mentionsObject reports whether the subtree references obj.
+func mentionsObject(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isInstrumentCall reports whether call is a method call on an obs
+// instrument handle (Counter.Add, Histogram.Observe, ...): the
+// sanctioned way to count a degraded-but-not-fatal event.
+func isInstrumentCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return obsInstrumentName(sig.Recv().Type()) != ""
+}
+
+// deadErrorWrite is one overwritten-unread error definition.
+type deadErrorWrite struct {
+	obj  types.Object
+	prev token.Pos // the overwritten definition
+	pos  token.Pos // the overwriting assignment
+}
+
+// deadErrorWrites scans one statement list (sibling statements only,
+// so execution order is linear) for error variables assigned twice
+// with no intervening read. A nested compound statement or closure
+// that mentions the variable at all is treated as both a read and a
+// write — conservative in exactly the direction that avoids false
+// positives.
+func deadErrorWrites(info *types.Info, stmts []ast.Stmt) []deadErrorWrite {
+	lastWrite := make(map[types.Object]token.Pos)
+	var out []deadErrorWrite
+
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			// Reads first: anything on the RHS (or an LHS index
+			// expression) consumes pending writes.
+			for _, rhs := range s.Rhs {
+				clearMentioned(info, rhs, lastWrite)
+			}
+			for _, lhs := range s.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+					clearMentioned(info, lhs, lastWrite)
+				}
+			}
+			for _, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || !isErrorType(obj.Type()) {
+					continue
+				}
+				if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+					continue
+				}
+				if prev, ok := lastWrite[obj]; ok {
+					out = append(out, deadErrorWrite{obj: obj, prev: prev, pos: id.Pos()})
+				}
+				lastWrite[obj] = id.Pos()
+			}
+		default:
+			// Any other statement mentioning a tracked variable reads
+			// it (or jumps somewhere that might); clear it.
+			clearMentionedStmt(info, stmt, lastWrite)
+		}
+	}
+	return out
+}
+
+func clearMentioned(info *types.Info, node ast.Node, lastWrite map[types.Object]token.Pos) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				delete(lastWrite, obj)
+			}
+		}
+		return true
+	})
+}
+
+func clearMentionedStmt(info *types.Info, stmt ast.Stmt, lastWrite map[types.Object]token.Pos) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				delete(lastWrite, obj)
+			}
+			if obj := info.Defs[id]; obj != nil {
+				delete(lastWrite, obj)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,52 @@
+// Package basic exercises the ctxflow lint: a goroutine with no
+// reachable stop signal and a channel send under a held mutex — with
+// or without a deferred unlock — are flagged.
+package basic
+
+import "sync"
+
+type pool struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+func (p *pool) leak() {
+	go func() { // want `goroutine spawned without a stop/cancel signal`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+func (p *pool) lockedSend(v int) {
+	p.mu.Lock()
+	p.out <- v // want `channel send while holding p\.mu`
+	p.mu.Unlock()
+}
+
+func (p *pool) deferredLockedSend(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// The deferred unlock runs at return: the lock is still held here.
+	p.out <- v // want `channel send while holding p\.mu`
+}
+
+func (p *pool) branchLockedSend(v int, cond bool) {
+	if cond {
+		p.mu.Lock()
+	}
+	// Held on the cond path: a may-hold join still flags the send.
+	p.out <- v // want `channel send while holding p\.mu`
+	if cond {
+		p.mu.Unlock()
+	}
+}
+
+func (p *pool) waived() {
+	//riflint:allow unstoppable -- fixture: process-lifetime janitor by design
+	go func() {
+		for {
+			_ = 0
+		}
+	}()
+}

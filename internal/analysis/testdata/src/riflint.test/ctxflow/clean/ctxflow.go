@@ -1,0 +1,71 @@
+// Package clean is the positive space of the ctxflow lint: goroutines
+// that observe a stop channel, a context, or the fleet func() bool
+// stop hook — including through a bound closure — and sends that
+// happen outside the lock or through a non-blocking select.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	mu   sync.Mutex
+	out  chan int
+	stop chan struct{}
+}
+
+func (p *pool) run() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case p.out <- 1:
+			}
+		}
+	}()
+}
+
+// workers reaches its stop hook only through the bound cell closure —
+// the fleet pool idiom the call graph resolves.
+func (p *pool) workers(stop func() bool, n int) {
+	var wg sync.WaitGroup
+	cell := func(i int) bool { return stop() }
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for !cell(i) {
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func watch(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+func (p *pool) sendUnlocked(v int) {
+	p.mu.Lock()
+	p.mu.Unlock()
+	p.out <- v
+}
+
+func (p *pool) nonBlockingUnderLock(v int) {
+	p.mu.Lock()
+	select {
+	case p.out <- v:
+	default:
+	}
+	p.mu.Unlock()
+}

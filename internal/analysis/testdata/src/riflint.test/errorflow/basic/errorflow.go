@@ -1,0 +1,61 @@
+// Package basic exercises the errorflow lint: errors produced on the
+// read/fault path must be returned, stored, counted, or explicitly
+// waived — blank discards, bare-statement drops, never-consumed
+// variables and dead overwrites are all flagged.
+package basic
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+func produce() error         { return errors.New("media error") }
+func produce2() (int, error) { return 0, errors.New("media error") }
+func wrap(err error) error   { return err }
+
+func dropBlank() {
+	_ = produce() // want `error result assigned to _`
+}
+
+func dropBare() {
+	produce() // want `error result of call discarded`
+}
+
+func dropTuple() {
+	v, _ := produce2() // want `error result assigned to _`
+	_ = v
+}
+
+func neverConsumed() {
+	err := produce() // want `err is assigned but never returned, stored, or counted`
+	if err != nil {
+		return // checking alone does not consume the error
+	}
+}
+
+func overwritten() error {
+	err := produce()
+	err = produce() // want `err overwritten before the previous error was read`
+	return err
+}
+
+func waived() {
+	//riflint:allow droppederr -- fixture: this probe is best-effort by design
+	_ = produce()
+}
+
+func counted(c *obs.Counter) {
+	if err := produce(); err != nil {
+		c.Inc() // counting on an instrument consumes the failure
+	}
+}
+
+func returned() error {
+	return produce()
+}
+
+func passedOn() error {
+	err := produce()
+	return wrap(err)
+}

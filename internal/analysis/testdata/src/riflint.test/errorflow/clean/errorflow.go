@@ -1,0 +1,56 @@
+// Package clean is the positive space of the errorflow lint: the
+// degradation-ladder idioms the read path actually uses — wrap and
+// return, store into a result struct, send to a collector, bump a
+// degradation counter — all pass untouched.
+package clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+func produce() error         { return errors.New("media error") }
+func produce2() (int, error) { return 0, errors.New("media error") }
+
+type ladder struct {
+	dropped int
+	lastErr error
+	errs    chan error
+}
+
+func wrapped() error {
+	err := produce()
+	if err != nil {
+		return fmt.Errorf("read ladder: %w", err)
+	}
+	return nil
+}
+
+func (l *ladder) countedField() {
+	err := produce()
+	if err != nil {
+		l.dropped++ // degradation counted, not swallowed
+	}
+}
+
+func (l *ladder) storedField() {
+	l.lastErr = produce()
+}
+
+func (l *ladder) forwarded() {
+	err := produce()
+	l.errs <- err
+}
+
+func namedResult() (err error) {
+	err = produce()
+	return
+}
+
+func tupleConsumed() (int, error) {
+	v, err := produce2()
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}

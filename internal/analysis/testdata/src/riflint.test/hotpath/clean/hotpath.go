@@ -1,0 +1,33 @@
+// Package clean is the positive space of the hotpath lint: an
+// annotated function written in the repository's scratch-reuse idiom —
+// preallocated buffers, index loops, pointer receivers, failure-only
+// panics — passes with no diagnostics at all.
+package clean
+
+import "fmt"
+
+type decoder struct {
+	work  []float64
+	total float64
+	n     int
+}
+
+//riflint:hotpath
+func (d *decoder) decode(in []float64) bool {
+	if len(in) != len(d.work) {
+		panic(fmt.Sprintf("clean: length mismatch %d != %d", len(in), len(d.work)))
+	}
+	d.total = 0
+	for i := range in {
+		d.work[i] = in[i] * 0.75
+		d.total += d.work[i]
+	}
+	d.n++
+	return d.converged()
+}
+
+// converged is hot via decode; its body reuses state and allocates
+// nothing.
+func (d *decoder) converged() bool {
+	return d.total < float64(d.n)
+}

@@ -83,6 +83,8 @@ func (d *MinSumDecoder) MaxIterations() int { return d.maxIter }
 // Decode attempts to correct the received hard-decision codeword.
 // The input is not modified. The Result's Word aliases decoder
 // scratch (see Result.Word).
+//
+//riflint:hotpath
 func (d *MinSumDecoder) Decode(received Bits) Result {
 	n := d.code.N()
 	if received.Len() != n {
@@ -104,6 +106,8 @@ func (d *MinSumDecoder) Decode(received Bits) Result {
 // obtained by extra senses at offset read voltages — let the decoder
 // correct pages beyond the hard-decision capability, the modern
 // last-resort retry step.
+//
+//riflint:hotpath
 func (d *MinSumDecoder) DecodeSoft(llrs []float32) Result {
 	n := d.code.N()
 	if len(llrs) != n {

@@ -27,6 +27,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//riflint:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
@@ -68,6 +70,8 @@ func (g *Gauge) Add(delta int64) {
 }
 
 // SetMax raises the gauge to v if v is larger (a high-water mark).
+//
+//riflint:hotpath
 func (g *Gauge) SetMax(v int64) {
 	if g == nil {
 		return
@@ -131,6 +135,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe folds one observation into the histogram.
+//
+//riflint:hotpath
 func (h *Histogram) Observe(x float64) {
 	if h == nil {
 		return

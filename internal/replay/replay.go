@@ -69,6 +69,10 @@ func NewPoisson(rateIOPS float64, seed uint64) (Arrivals, error) {
 	return &poisson{rng: sim.NewRNG(seed, 0xa881), mean: 1e9 / rateIOPS}, nil
 }
 
+// Next draws the next exponential interarrival gap. One call per
+// admitted request: the replay admission hot path.
+//
+//riflint:hotpath
 func (p *poisson) Next(sim.Time) sim.Time {
 	d := sim.Time(p.rng.Exponential(p.mean))
 	if d < sim.Nanosecond {
@@ -96,6 +100,9 @@ func NewFixed(rateIOPS float64) (Arrivals, error) {
 	return &fixed{mean: 1e9 / rateIOPS}, nil
 }
 
+// Next derives the next evenly spaced arrival instant.
+//
+//riflint:hotpath
 func (f *fixed) Next(sim.Time) sim.Time {
 	f.n++
 	return sim.Time(float64(f.n) * f.mean)
@@ -116,6 +123,9 @@ func NewTraceScale(speed float64) (Arrivals, error) {
 	return &traceScale{speed: speed}, nil
 }
 
+// Next compresses the recorded timestamp by the replay speedup.
+//
+//riflint:hotpath
 func (t *traceScale) Next(orig sim.Time) sim.Time {
 	return sim.Time(float64(orig) / t.speed)
 }
@@ -230,6 +240,12 @@ type sourceWorkload struct {
 	every    int64
 }
 
+// advance pulls the next request into the one-element lookahead. Runs
+// once per admitted request; the source and arrival interfaces it
+// calls through are outside the static graph, but its own body must
+// stay allocation-free.
+//
+//riflint:hotpath
 func (w *sourceWorkload) advance() {
 	if w.limit == 0 {
 		w.done = true

@@ -99,6 +99,8 @@ func (e *Engine) MaxPending() int { return e.maxPending }
 
 // At schedules fn to run at absolute time at. Scheduling in the past
 // panics: it is always a model bug.
+//
+//riflint:hotpath
 func (e *Engine) At(at Time, fn Handler) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
@@ -109,6 +111,7 @@ func (e *Engine) At(at Time, fn Handler) EventID {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
+		//riflint:allow alloc -- free-list refill: one event per high-water slot, reused forever after
 		ev = &event{}
 	}
 	ev.at = at
@@ -123,6 +126,8 @@ func (e *Engine) At(at Time, fn Handler) EventID {
 }
 
 // After schedules fn to run d nanoseconds from now.
+//
+//riflint:hotpath
 func (e *Engine) After(d Time, fn Handler) EventID {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -148,6 +153,7 @@ func (e *Engine) Cancel(id EventID) {
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.gen++
+	//riflint:allow alloc -- free list reuses capacity vacated by At; it never exceeds the queue high-water mark
 	e.free = append(e.free, ev)
 }
 
@@ -161,6 +167,8 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 // RunUntil executes events with timestamps <= deadline. Events beyond
 // the deadline stay queued; the clock is advanced to min(deadline,
 // last event time). It returns the final clock value.
+//
+//riflint:hotpath
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
@@ -207,6 +215,7 @@ func eventLess(a, b *event) bool {
 
 // push appends ev and restores the heap invariant.
 func (e *Engine) push(ev *event) {
+	//riflint:allow alloc -- append into capacity vacated by popRoot; growth only while the heap sets a new high-water mark
 	e.queue = append(e.queue, ev)
 	ev.index = int32(len(e.queue) - 1)
 	e.siftUp(len(e.queue) - 1)

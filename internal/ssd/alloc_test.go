@@ -1,0 +1,33 @@
+package ssd
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// allocStubWorkload satisfies Workload without pulling in a trace
+// generator; predictFail never touches the workload.
+type allocStubWorkload struct{}
+
+func (allocStubWorkload) Next() trace.Request          { return trace.Request{} }
+func (allocStubWorkload) InitialAgeDays(int64) float64 { return 0 }
+
+// TestPredictFailZeroAlloc is the runtime half of the //riflint:hotpath
+// guard on predictFail: one prediction per read in the RiF read path,
+// zero heap allocations. If riflint's static check and this pin ever
+// disagree, one of them has a bug.
+func TestPredictFailZeroAlloc(t *testing.T) {
+	s, err := New(DefaultConfig(RiF, 2000), allocStubWorkload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := pageView{rberFirst: 1e-3, fails: false}
+	pass := pageView{rberFirst: 5e-4, fails: true}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.predictFail(fail)
+		s.predictFail(pass)
+	}); allocs != 0 {
+		t.Fatalf("predictFail allocates %.1f times per call pair; the hot path must be allocation-free", allocs)
+	}
+}

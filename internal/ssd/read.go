@@ -356,6 +356,8 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 // accuracy model and accounts for it (including the confusion matrix).
 // An injected forced misprediction inverts the engine's output on top
 // of the accuracy model's own errors.
+//
+//riflint:hotpath
 func (s *SSD) predictFail(p pageView) bool {
 	s.m.Predictions++
 	correct := s.acc.PredictCorrect(p.rberFirst, s.predictRNG.Float64())

@@ -90,6 +90,8 @@ func (s *Sketch) key(x float64) int {
 
 // Add folds one observation into the sketch. Steady state (an
 // observation whose bucket already exists) allocates nothing.
+//
+//riflint:hotpath
 func (s *Sketch) Add(x float64) {
 	if x < 0 || math.IsNaN(x) {
 		panic(fmt.Sprintf("stats: sketch observation %v", x))
@@ -116,16 +118,19 @@ func (s *Sketch) Add(x float64) {
 // bucket increments bucket k, growing the dense range if needed.
 func (s *Sketch) bucket(k int) {
 	if len(s.counts) == 0 {
+		//riflint:allow alloc -- first observation seeds the dense range; never reached again
 		s.counts = append(s.counts, 0)
 		s.minKey = k
 	}
 	if k < s.minKey {
+		//riflint:allow alloc -- range extension: at most O(log range) growths over a run, then steady state
 		grown := make([]int64, len(s.counts)+(s.minKey-k))
 		copy(grown[s.minKey-k:], s.counts)
 		s.counts = grown
 		s.minKey = k
 	}
 	for k >= s.minKey+len(s.counts) {
+		//riflint:allow alloc -- range extension: at most O(log range) growths over a run, then steady state
 		s.counts = append(s.counts, 0)
 	}
 	s.counts[k-s.minKey]++
