@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race shuffle serve-e2e bench bench-smoke chaos-smoke replay-smoke lint fmt-check vet riflint staticcheck govulncheck
+.PHONY: all build test race shuffle serve-e2e serve-load-smoke bench bench-smoke chaos-smoke replay-smoke lint fmt-check vet riflint staticcheck govulncheck
 
 all: build test
 
@@ -36,6 +36,14 @@ shuffle:
 # flushed marked partial). CI runs this on every change.
 serve-e2e:
 	$(GO) test -race -count=1 ./internal/serve/ ./cmd/rifserve/
+
+# serve-load-smoke drives rifload against an in-process cached server
+# under the race detector: a mixed hit/miss workload with -verify on,
+# asserting zero errors, zero byte-identity violations, and that hot
+# specs actually land in the result cache. CI runs this on every
+# change.
+serve-load-smoke:
+	$(GO) test -race -count=1 -run TestLoadSmoke -v ./cmd/rifload/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

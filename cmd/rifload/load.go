@@ -1,0 +1,345 @@
+package main
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/replay"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// LoadConfig describes one load run against a rifserve instance.
+type LoadConfig struct {
+	// URL is the rifserve base URL (no trailing slash).
+	URL string
+	// Experiment/Requests shape every submitted spec.
+	Experiment string
+	Requests   int
+	// Submissions is the total number of jobs to submit.
+	Submissions int
+	// Clients is the number of concurrent submitters.
+	Clients int
+	// HotSpecs is the size of the repeated-spec pool; HitRatio is the
+	// probability a submission draws from it instead of minting a
+	// never-seen spec. After warmup, hot submissions are answered from
+	// the server's result cache (when enabled).
+	HotSpecs int
+	HitRatio float64
+	// Rate paces submissions (jobs/second) through a replay arrival
+	// process; 0 submits as fast as the clients drain. Arrivals selects
+	// the process: "poisson" (default) or "fixed".
+	Rate     float64
+	Arrivals string
+	// Seed drives the hit/miss mix and the Poisson arrival clock.
+	Seed uint64
+	// Verify cross-checks artifacts: for every spec submitted more than
+	// once, the /report bytes must be identical across submissions, and
+	// the /runs bytes identical modulo the wall_time_s host-noise field.
+	Verify bool
+	// Client overrides the HTTP client (nil means http.DefaultClient).
+	Client *http.Client
+}
+
+// LatencySummary is the client-observed submit-to-terminal latency
+// distribution in milliseconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// Summary is the load run's result, printed as JSON by the CLI.
+type Summary struct {
+	Submissions    int            `json:"submissions"`
+	Hits           int64          `json:"hits"`
+	Misses         int64          `json:"misses"`
+	Errors         int64          `json:"errors"`
+	VerifyFailures int64          `json:"verify_failures"`
+	ElapsedS       float64        `json:"elapsed_s"`
+	JobsPerSec     float64        `json:"jobs_per_s"`
+	Latency        LatencySummary `json:"latency"`
+	LastError      string         `json:"last_error,omitempty"`
+}
+
+// submission is one unit of client work: the spec body and the stable
+// identity verification groups artifacts under.
+type submission struct {
+	specID int
+	spec   string
+}
+
+// workerResult accumulates one client's counts; merged after the run
+// so the hot path never contends on shared counters.
+type workerResult struct {
+	hits, misses, errors int64
+	lastErr              error
+	sketch               *stats.Sketch
+}
+
+// wallTimeField is the one manifest field that is host noise rather
+// than simulation output; verification masks it on both sides.
+var wallTimeField = regexp.MustCompile(`"wall_time_s": [0-9eE.+-]+`)
+
+// loader shares the verification state across clients.
+type loader struct {
+	cfg    LoadConfig
+	client *http.Client
+
+	mu             sync.Mutex
+	reportHash     map[int][sha256.Size]byte
+	runsHash       map[int][sha256.Size]byte
+	verifyFailures int64
+}
+
+// runLoad executes the configured load and summarizes it.
+func runLoad(cfg LoadConfig) (*Summary, error) {
+	if cfg.Submissions <= 0 {
+		return nil, fmt.Errorf("rifload: submissions %d; want > 0", cfg.Submissions)
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.HitRatio < 0 || cfg.HitRatio > 1 {
+		return nil, fmt.Errorf("rifload: hit ratio %v; want [0,1]", cfg.HitRatio)
+	}
+	if cfg.HitRatio > 0 && cfg.HotSpecs <= 0 {
+		cfg.HotSpecs = 1
+	}
+	var arrivals replay.Arrivals
+	if cfg.Rate > 0 {
+		var err error
+		switch cfg.Arrivals {
+		case "", "poisson":
+			arrivals, err = replay.NewPoisson(cfg.Rate, cfg.Seed)
+		case "fixed":
+			arrivals, err = replay.NewFixed(cfg.Rate)
+		default:
+			err = fmt.Errorf("rifload: unknown arrival process %q (poisson, fixed)", cfg.Arrivals)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	l := &loader{
+		cfg:        cfg,
+		client:     cfg.Client,
+		reportHash: map[int][sha256.Size]byte{},
+		runsHash:   map[int][sha256.Size]byte{},
+	}
+	if l.client == nil {
+		l.client = http.DefaultClient
+	}
+
+	jobs := make(chan submission)
+	quit := make(chan struct{})
+	defer close(quit)
+	results := make([]workerResult, cfg.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		results[c].sketch = stats.NewSketch(0)
+		wg.Add(1)
+		go func(res *workerResult) {
+			defer wg.Done()
+			l.clientLoop(jobs, quit, res)
+		}(&results[c])
+	}
+
+	mix := newMix(cfg.Seed)
+	//riflint:allow wallclock -- load harness measures a live HTTP service, not a simulation
+	start := time.Now()
+	for i := 0; i < cfg.Submissions; i++ {
+		if arrivals != nil {
+			due := start.Add(time.Duration(arrivals.Next(0)))
+			//riflint:allow wallclock -- open-loop pacing of real HTTP submissions
+			if d := time.Until(due); d > 0 {
+				//riflint:allow wallclock -- open-loop pacing of real HTTP submissions
+				time.Sleep(d)
+			}
+		}
+		jobs <- l.submission(i, mix)
+	}
+	close(jobs)
+	wg.Wait()
+	//riflint:allow wallclock -- load harness measures a live HTTP service, not a simulation
+	elapsed := time.Since(start)
+
+	sum := &Summary{Submissions: cfg.Submissions, ElapsedS: elapsed.Seconds()}
+	merged := stats.NewSketch(0)
+	var lastErr error
+	for i := range results {
+		r := &results[i]
+		sum.Hits += r.hits
+		sum.Misses += r.misses
+		sum.Errors += r.errors
+		if r.lastErr != nil {
+			lastErr = r.lastErr
+		}
+		merged.Merge(r.sketch)
+	}
+	if lastErr != nil {
+		sum.LastError = lastErr.Error()
+	}
+	sum.VerifyFailures = l.verifyFailures
+	if sum.ElapsedS > 0 {
+		sum.JobsPerSec = float64(cfg.Submissions) / sum.ElapsedS
+	}
+	if merged.N() > 0 {
+		sum.Latency = LatencySummary{
+			P50:  merged.Quantile(0.50),
+			P90:  merged.Quantile(0.90),
+			P99:  merged.Quantile(0.99),
+			Max:  merged.Max(),
+			Mean: merged.Mean(),
+		}
+	}
+	return sum, nil
+}
+
+// newMix returns the hit/miss mix RNG for a seed: its own named
+// stream, so the mix is a pure function of the seed.
+func newMix(seed uint64) *sim.RNG { return sim.NewRNG(seed, 0x10ad) }
+
+// submission builds the i-th spec: hot submissions cycle the shared
+// pool (so the server's cache can answer repeats), the rest carry a
+// never-repeated seed.
+func (l *loader) submission(i int, mix *sim.RNG) submission {
+	specID := l.cfg.HotSpecs + i // unique: one spec per submission index
+	seed := uint64(1_000_000 + i)
+	if mix.Bernoulli(l.cfg.HitRatio) {
+		specID = i % l.cfg.HotSpecs
+		seed = uint64(1 + specID)
+	}
+	return submission{
+		specID: specID,
+		spec: fmt.Sprintf(`{"experiment":%q,"requests":%d,"seed":%d}`,
+			l.cfg.Experiment, l.cfg.Requests, seed),
+	}
+}
+
+// clientLoop drains submissions until the feed closes or quit fires.
+func (l *loader) clientLoop(jobs <-chan submission, quit <-chan struct{}, res *workerResult) {
+	for {
+		select {
+		case <-quit:
+			return
+		case sub, ok := <-jobs:
+			if !ok {
+				return
+			}
+			latency, cached, err := l.submitOne(sub)
+			if err != nil {
+				res.errors++
+				res.lastErr = err
+				continue
+			}
+			if cached {
+				res.hits++
+			} else {
+				res.misses++
+			}
+			res.sketch.Add(float64(latency) / float64(time.Millisecond))
+		}
+	}
+}
+
+// submitOne posts one spec, follows the NDJSON stream to the terminal
+// event, and returns the client-observed latency and whether the
+// server answered from its result cache.
+func (l *loader) submitOne(sub submission) (time.Duration, bool, error) {
+	//riflint:allow wallclock -- client-observed latency of a live HTTP service
+	start := time.Now()
+	resp, err := l.client.Post(l.cfg.URL+"/jobs", "application/json", strings.NewReader(sub.spec))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, readErr := io.ReadAll(io.LimitReader(resp.Body, 256))
+		if readErr != nil {
+			body = []byte(readErr.Error())
+		}
+		return 0, false, fmt.Errorf("rifload: submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var last serve.Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			return 0, false, fmt.Errorf("rifload: bad event line %q: %w", sc.Text(), err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, false, err
+	}
+	if last.Event != string(serve.Done) {
+		return 0, false, fmt.Errorf("rifload: job %s ended %q: %s", last.Job, last.Event, last.Error)
+	}
+	//riflint:allow wallclock -- client-observed latency of a live HTTP service
+	latency := time.Since(start)
+	if l.cfg.Verify {
+		if err := l.verify(sub.specID, last.Job); err != nil {
+			return 0, false, err
+		}
+	}
+	return latency, last.Cached, nil
+}
+
+// verify fetches the job's artifacts and pins them against the first
+// submission of the same spec: identical /report bytes, identical
+// /runs bytes after masking the wall-clock field. A mismatch is both
+// counted and returned — it means the cache (or the determinism
+// contract underneath it) served wrong bytes.
+func (l *loader) verify(specID int, jobID string) error {
+	report, err := l.get("/jobs/" + jobID + "/report")
+	if err != nil {
+		return err
+	}
+	runs, err := l.get("/runs/" + jobID)
+	if err != nil {
+		return err
+	}
+	reportSum := sha256.Sum256(report)
+	runsSum := sha256.Sum256(wallTimeField.ReplaceAll(runs, []byte(`"wall_time_s": 0`)))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prevReport, seen := l.reportHash[specID]
+	if !seen {
+		l.reportHash[specID] = reportSum
+		l.runsHash[specID] = runsSum
+		return nil
+	}
+	if prevReport != reportSum || l.runsHash[specID] != runsSum {
+		l.verifyFailures++
+		return fmt.Errorf("rifload: job %s artifacts differ from an earlier submission of the same spec", jobID)
+	}
+	return nil
+}
+
+// get fetches one endpoint fully.
+func (l *loader) get(path string) ([]byte, error) {
+	resp, err := l.client.Get(l.cfg.URL + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rifload: GET %s: %s", path, resp.Status)
+	}
+	return body, nil
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// newServer starts an in-process rifserve and returns its base URL.
+func newServer(t *testing.T, cacheBytes int64) string {
+	t.Helper()
+	srv := serve.New(serve.Config{
+		QueueDepth: 64,
+		JobWorkers: 2,
+		CacheBytes: cacheBytes,
+	})
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestLoadSmokeCacheHitsAndByteIdentity is the serve-load-smoke CI
+// gate: a short mixed workload against an in-process rifserve must
+// complete without errors, observe cache hits (repeats answered from
+// the content-addressed cache), and pass rifload's own byte-identity
+// verification across every repeated spec — all under -race via the
+// Makefile target.
+func TestLoadSmokeCacheHitsAndByteIdentity(t *testing.T) {
+	url := newServer(t, serve.DefaultCacheBytes)
+	sum, err := runLoad(LoadConfig{
+		URL:         url,
+		Experiment:  "chaos",
+		Requests:    30,
+		Submissions: 12,
+		Clients:     3,
+		HotSpecs:    2,
+		HitRatio:    0.75,
+		Seed:        1,
+		Verify:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("load run had %d errors (last: %s)", sum.Errors, sum.LastError)
+	}
+	if sum.VerifyFailures != 0 {
+		t.Fatalf("byte-identity verification failed %d times", sum.VerifyFailures)
+	}
+	if sum.Hits == 0 {
+		t.Fatal("no cache hits on a 75%-hot workload")
+	}
+	if sum.Hits+sum.Misses != int64(sum.Submissions) {
+		t.Fatalf("hits %d + misses %d != submissions %d", sum.Hits, sum.Misses, sum.Submissions)
+	}
+	if sum.Latency.P99 < sum.Latency.P50 || sum.Latency.Max <= 0 {
+		t.Fatalf("implausible latency summary: %+v", sum.Latency)
+	}
+}
+
+// TestLoadAgainstUncachedServer pins that the harness itself makes no
+// caching assumption: with the cache disabled every submission is a
+// miss, and byte-identity across repeats still holds (determinism,
+// not storage, is what guarantees it).
+func TestLoadAgainstUncachedServer(t *testing.T) {
+	url := newServer(t, 0)
+	sum, err := runLoad(LoadConfig{
+		URL:         url,
+		Experiment:  "chaos",
+		Requests:    30,
+		Submissions: 6,
+		Clients:     2,
+		HotSpecs:    1,
+		HitRatio:    1.0,
+		Seed:        2,
+		Verify:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("load run had %d errors (last: %s)", sum.Errors, sum.LastError)
+	}
+	if sum.Hits != 0 {
+		t.Fatalf("%d cache hits reported by a cache-disabled server", sum.Hits)
+	}
+	if sum.VerifyFailures != 0 {
+		t.Fatalf("byte-identity verification failed %d times without cache", sum.VerifyFailures)
+	}
+}
+
+// TestLoadConfigValidation pins the CLI-facing error paths.
+func TestLoadConfigValidation(t *testing.T) {
+	for _, cfg := range []LoadConfig{
+		{Submissions: 0},
+		{Submissions: 5, HitRatio: 1.5},
+		{Submissions: 5, Rate: 10, Arrivals: "bogus"},
+	} {
+		if _, err := runLoad(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestSubmissionMixDeterministic pins that the same seed produces the
+// same spec sequence — load runs are replayable.
+func TestSubmissionMixDeterministic(t *testing.T) {
+	mk := func() []submission {
+		l := &loader{cfg: LoadConfig{
+			Experiment: "chaos", Requests: 30, HotSpecs: 2, HitRatio: 0.5, Seed: 7,
+		}}
+		mix := newMix(7)
+		subs := make([]submission, 20)
+		for i := range subs {
+			subs[i] = l.submission(i, mix)
+		}
+		return subs
+	}
+	a, b := mk(), mk()
+	hot := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("submission %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].specID < 2 {
+			hot++
+		}
+	}
+	if hot == 0 || hot == len(a) {
+		t.Fatalf("mix produced %d/%d hot submissions; want a genuine mix", hot, len(a))
+	}
+}

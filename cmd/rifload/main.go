@@ -1,0 +1,76 @@
+// Command rifload is the load harness for rifserve: concurrent NDJSON
+// clients submit experiment jobs at a configurable arrival rate and
+// hit/miss mix, follow each job's progress stream to its terminal
+// event, and report client-observed latency quantiles and cache
+// effectiveness as JSON.
+//
+// Usage:
+//
+//	rifserve -addr :8080 &
+//	rifload -url http://localhost:8080 -n 200 -clients 8 -hit 0.9
+//
+// The hit/miss mix models a result-cache workload: -hot specs are
+// drawn repeatedly with probability -hit (after first touch, the
+// server answers them from its content-addressed cache), the rest are
+// never-repeated specs that always compute. -rate paces submissions
+// through the replay engine's arrival processes (-arrivals poisson or
+// fixed); 0 submits as fast as the clients drain.
+//
+// With -verify (default), rifload cross-checks the serving layer's
+// core contract: every submission of the same spec must yield
+// byte-identical /report bytes and /runs bytes (modulo the wall-clock
+// field), whether computed fresh, deduplicated onto an in-flight run,
+// or served from the cache. Mismatches are counted as
+// verify_failures and the run exits nonzero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "rifserve base URL")
+	experiment := flag.String("experiment", "chaos", "experiment every spec names")
+	requests := flag.Int("requests", 40, "host requests per simulation in every spec")
+	n := flag.Int("n", 50, "total jobs to submit")
+	clients := flag.Int("clients", 4, "concurrent submitters")
+	hot := flag.Int("hot", 4, "size of the repeated-spec pool")
+	hit := flag.Float64("hit", 0.9, "fraction of submissions drawn from the repeated pool")
+	rate := flag.Float64("rate", 0, "submission arrival rate in jobs/second (0 = unpaced)")
+	arrivals := flag.String("arrivals", "poisson", "arrival process at -rate: poisson or fixed")
+	seed := flag.Uint64("seed", 1, "seed for the hit/miss mix and poisson arrivals")
+	verify := flag.Bool("verify", true, "pin byte-identity of artifacts across submissions of the same spec")
+	flag.Parse()
+
+	sum, err := runLoad(LoadConfig{
+		URL:         *url,
+		Experiment:  *experiment,
+		Requests:    *requests,
+		Submissions: *n,
+		Clients:     *clients,
+		HotSpecs:    *hot,
+		HitRatio:    *hit,
+		Rate:        *rate,
+		Arrivals:    *arrivals,
+		Seed:        *seed,
+		Verify:      *verify,
+	})
+	if err != nil {
+		//riflint:allow droppederr -- stderr diagnostic on the exit path
+		fmt.Fprintln(os.Stderr, "rifload:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		//riflint:allow droppederr -- stderr diagnostic on the exit path
+		fmt.Fprintln(os.Stderr, "rifload:", err)
+		os.Exit(1)
+	}
+	if sum.Errors > 0 || sum.VerifyFailures > 0 {
+		os.Exit(1)
+	}
+}

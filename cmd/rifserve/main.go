@@ -17,6 +17,14 @@
 //
 // prints exactly the bytes GET /jobs/job-1/report serves.
 //
+// Completed results are content-addressed: resubmitting a spec that
+// canonicalizes to the same configuration is answered from the result
+// cache (the terminal event carries "cached": true) and identical
+// concurrent submissions share one computation. -cache-size bounds the
+// cache in bytes; 0 disables it. Grid cells from all running jobs
+// shard across one work-stealing scheduler sized by -cell-workers;
+// results are byte-identical for every worker count.
+//
 // SIGINT/SIGTERM shut down gracefully: in-flight jobs are cancelled
 // through the fleet stop hook (running grid cells finish), their
 // manifests are flushed to the spool marked "partial": true, and the
@@ -40,10 +48,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	queue := flag.Int("queue", serve.DefaultQueueDepth,
 		"pending-job queue depth; a full queue rejects submissions with 429 + Retry-After")
-	jobs := flag.Int("jobs", 1, "jobs run concurrently (each job's grid shards across its own -workers pool)")
+	jobs := flag.Int("jobs", 1, "jobs run concurrently (grid cells from all jobs shard across the shared -cell-workers scheduler)")
 	spool := flag.String("spool", "", "directory receiving one manifest collection JSON per finished job (empty disables)")
 	instance := flag.String("instance", "", "value of the instance label added to every /metrics sample")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for the HTTP listener")
+	cacheSize := flag.Int64("cache-size", serve.DefaultCacheBytes,
+		"result cache budget in bytes; repeat submissions are answered from cached artifacts and identical concurrent submissions share one computation (0 disables)")
+	cellWorkers := flag.Int("cell-workers", 0,
+		"workers in the shared work-stealing cell scheduler (0 = GOMAXPROCS); results are byte-identical for every value")
 	flag.Parse()
 
 	if *queue < 1 {
@@ -52,6 +64,10 @@ func main() {
 	}
 	if *jobs < 1 {
 		fmt.Fprintln(os.Stderr, "rifserve: -jobs must be >= 1")
+		os.Exit(2)
+	}
+	if *cellWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "rifserve: -cell-workers must be >= 0")
 		os.Exit(2)
 	}
 	if *spool != "" {
@@ -66,10 +82,12 @@ func main() {
 		labels = map[string]string{"instance": *instance}
 	}
 	srv := serve.New(serve.Config{
-		QueueDepth: *queue,
-		JobWorkers: *jobs,
-		SpoolDir:   *spool,
-		Labels:     labels,
+		QueueDepth:  *queue,
+		JobWorkers:  *jobs,
+		SpoolDir:    *spool,
+		Labels:      labels,
+		CacheBytes:  *cacheSize,
+		CellWorkers: *cellWorkers,
 	})
 	srv.Start()
 

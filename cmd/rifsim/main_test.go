@@ -10,7 +10,10 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/nand"
+	"repro/internal/replay"
 	"repro/internal/sim"
+	"repro/internal/ssd"
 	"repro/internal/trace"
 )
 
@@ -190,5 +193,76 @@ func TestRunReplayRejections(t *testing.T) {
 	o.rate = 10000
 	if err := runReplay(io.Discard, p, o); err == nil {
 		t.Error("missing trace file accepted")
+	}
+}
+
+// TestRunReplayMSRSampleEndToEnd drives -replay over the checked-in
+// MSR-Cambridge sample (internal/trace/testdata): format sniffing,
+// byte-to-page conversion, and the open-loop sweep all the way to the
+// tail-latency table. Together with the trace package's parsing pin,
+// this keeps a real-world-format trace working end to end.
+func TestRunReplayMSRSampleEndToEnd(t *testing.T) {
+	path := filepath.Join("..", "..", "internal", "trace", "testdata", "msr-sample.csv")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checked-in MSR sample missing: %v", err)
+	}
+	p := core.DefaultRunParams()
+	p.Workers = 2
+	var buf bytes.Buffer
+	err := runReplay(&buf, p, replayOptions{
+		file:   path,
+		rates:  "5000,20000",
+		speed:  1,
+		scheme: "RiFSSD",
+		pe:     2000,
+		age:    30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "Open-loop replay of "+path) {
+		t.Errorf("missing report header:\n%s", got)
+	}
+	for _, want := range []string{"rateIOPS", "5000", "20000"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	// FormatTailSweep does not print request counts, so pin full trace
+	// consumption through the same sweep path the CLI took: every cell
+	// must have replayed all 24 sample rows.
+	scheme, err := ssd.SchemeByName("RiFSSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageBytes := nand.PaperGeometry().PageBytes
+	pts, err := core.ReplaySweep(p, core.ReplayParams{
+		Open: func() (replay.Source, io.Closer, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			src, err := trace.NewStream(f, pageBytes, -1)
+			if err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			return src, f, nil
+		},
+		Workload:       path,
+		Scheme:         scheme,
+		PECycles:       2000,
+		Rates:          []float64{5000, 20000},
+		AgeDays:        30,
+		FootprintPages: p.FootprintPages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Requests != 24 {
+			t.Errorf("rate %v cell replayed %d requests, want all 24", pt.RateIOPS, pt.Requests)
+		}
 	}
 }

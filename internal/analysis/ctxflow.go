@@ -2,7 +2,8 @@ package analysis
 
 // The ctxflow analyzer guards the concurrency layer's shutdown
 // contract. Two checks, both scoped to the goroutine-spawning packages
-// (internal/fleet, internal/serve, internal/replay):
+// (internal/fleet, internal/serve, internal/replay,
+// internal/resultcache, cmd/rifload):
 //
 //   - unstoppable: every `go` statement must thread a stop/cancel
 //     signal into the goroutine it spawns. A signal is a value of a
@@ -33,9 +34,11 @@ import (
 // ctxFlowPackages is the goroutine-spawning layer under the shutdown
 // contract.
 var ctxFlowPackages = map[string]bool{
-	"repro/internal/fleet":  true,
-	"repro/internal/serve":  true,
-	"repro/internal/replay": true,
+	"repro/internal/fleet":       true,
+	"repro/internal/serve":       true,
+	"repro/internal/replay":      true,
+	"repro/internal/resultcache": true,
+	"repro/cmd/rifload":          true,
 }
 
 func inCtxFlowPackage(path string) bool {

@@ -1,11 +1,12 @@
 package analysis
 
 // The errorflow analyzer enforces the degradation contract on the
-// read/fault path: an error produced in internal/ssd, internal/faults,
-// internal/nvme or internal/replay must go somewhere — returned to the
-// caller (possibly wrapped), handed to another function, stored, sent
-// on a channel, or counted on an obs instrument. Three shapes are
-// flagged:
+// read/fault path and the result-serving layer: an error produced in
+// internal/ssd, internal/faults, internal/nvme, internal/replay,
+// internal/resultcache or cmd/rifload must go somewhere — returned to
+// the caller (possibly wrapped), handed to another function, stored,
+// sent on a channel, or counted on an obs instrument. Three shapes
+// are flagged:
 //
 //   - a call's error result assigned to the blank identifier, or a
 //     call whose sole error result is discarded as a bare statement
@@ -27,13 +28,17 @@ import (
 	"strings"
 )
 
-// errorFlowPackages is the read/fault path: the packages whose errors
-// encode media failures and degradation outcomes.
+// errorFlowPackages is the read/fault path plus the result-serving
+// layer: the packages whose errors encode media failures, degradation
+// outcomes, or wrong-bytes hazards (a swallowed cache or load-harness
+// error can silently serve stale or mismatched artifacts).
 var errorFlowPackages = map[string]bool{
-	"repro/internal/ssd":    true,
-	"repro/internal/faults": true,
-	"repro/internal/nvme":   true,
-	"repro/internal/replay": true,
+	"repro/internal/ssd":         true,
+	"repro/internal/faults":      true,
+	"repro/internal/nvme":        true,
+	"repro/internal/replay":      true,
+	"repro/internal/resultcache": true,
+	"repro/cmd/rifload":          true,
 }
 
 func inErrorFlowPackage(path string) bool {

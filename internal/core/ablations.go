@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/fleet"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -43,9 +42,9 @@ var chunkConfigs = []struct {
 // and reports the bandwidth/accuracy trade the paper resolves at
 // 4 KiB.
 func AblateChunkSize(p RunParams) ([]ChunkAblationPoint, error) {
-	return fleet.MapStop(len(chunkConfigs), p.Workers, p.Stop, func(i int) (ChunkAblationPoint, error) {
+	return gridMap(p, len(chunkConfigs), func(i int) (ChunkAblationPoint, error) {
 		cc := chunkConfigs[i]
-		cfg := p.buildConfig(ssd.RiF, 2000)
+		cfg := p.BuildConfig(ssd.RiF, 2000)
 		cfg.Timing.TPred = sim.Time(cc.tPred * float64(sim.Microsecond))
 		cfg.PredictionFloor = cc.floor
 		m, err := runConfig(p, cfg, "Ali124")
@@ -75,8 +74,8 @@ type BufferAblationPoint struct {
 // buffers can (and cannot) recover.
 func AblateECCBuffer(p RunParams, scheme ssd.Scheme) ([]BufferAblationPoint, error) {
 	depths := []int{1, 2, 4, 8, 16}
-	return fleet.MapStop(len(depths), p.Workers, p.Stop, func(i int) (BufferAblationPoint, error) {
-		cfg := p.buildConfig(scheme, 2000)
+	return gridMap(p, len(depths), func(i int) (BufferAblationPoint, error) {
+		cfg := p.BuildConfig(scheme, 2000)
 		cfg.ECCBufferSlots = depths[i]
 		m, err := runConfig(p, cfg, "Ali124")
 		if err != nil {
@@ -99,8 +98,8 @@ type AccuracyAblationPoint struct {
 // sufficiently high prediction accuracy" requirement).
 func AblateAccuracy(p RunParams) ([]AccuracyAblationPoint, error) {
 	floors := []float64{0.80, 0.90, 0.95, 0.98, 0.995}
-	return fleet.MapStop(len(floors), p.Workers, p.Stop, func(i int) (AccuracyAblationPoint, error) {
-		cfg := p.buildConfig(ssd.RiF, 2000)
+	return gridMap(p, len(floors), func(i int) (AccuracyAblationPoint, error) {
+		cfg := p.BuildConfig(ssd.RiF, 2000)
 		cfg.PredictionFloor = floors[i]
 		m, err := runConfig(p, cfg, "Ali124")
 		if err != nil {
@@ -122,8 +121,8 @@ type SecondCheckResult struct {
 // wear (3K P/E), where adjusted-VREF re-reads occasionally remain
 // above the capability.
 func AblateSecondCheck(p RunParams) (*SecondCheckResult, error) {
-	runs, err := fleet.MapStop(2, p.Workers, p.Stop, func(i int) (*ssd.Metrics, error) {
-		cfg := p.buildConfig(ssd.RiF, 3000)
+	runs, err := gridMap(p, 2, func(i int) (*ssd.Metrics, error) {
+		cfg := p.BuildConfig(ssd.RiF, 3000)
 		cfg.RiFSecondCheck = i == 1
 		return runConfig(p, cfg, "Ali124")
 	})
@@ -158,9 +157,9 @@ func AblateDieScheduling(p RunParams, schemes []ssd.Scheme) ([]SchedulingPoint, 
 			keys = append(keys, cellKey{scheme, policy})
 		}
 	}
-	return fleet.MapStop(len(keys), p.Workers, p.Stop, func(i int) (SchedulingPoint, error) {
+	return gridMap(p, len(keys), func(i int) (SchedulingPoint, error) {
 		k := keys[i]
-		cfg := p.buildConfig(k.scheme, 2000)
+		cfg := p.BuildConfig(k.scheme, 2000)
 		cfg.DiePolicy = k.policy
 		m, err := runConfig(p, cfg, "Sys0")
 		if err != nil {

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/faults"
-	"repro/internal/fleet"
 	"repro/internal/ssd"
 )
 
@@ -72,7 +71,7 @@ func ChaosStudy(p RunParams, rates []float64, schemes []ssd.Scheme) ([]ChaosPoin
 			keys = append(keys, cellKey{r, s})
 		}
 	}
-	return fleet.MapStop(len(keys), p.Workers, p.Stop, func(i int) (ChaosPoint, error) {
+	return gridMap(p, len(keys), func(i int) (ChaosPoint, error) {
 		k := keys[i]
 		p2 := p
 		p2.Faults = ChaosMix(k.rate)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/ssd"
 	"repro/internal/trace"
@@ -42,6 +43,13 @@ type RunParams struct {
 	// fleet.ErrStopped. Cells already running finish normally, so
 	// manifests collected so far stay valid (flushed marked partial).
 	Stop func() bool
+	// Pool, when non-nil, is the shared work-stealing scheduler the
+	// grid studies submit their cells to instead of spinning up a
+	// private pool of Workers — this is how a long-running service
+	// interleaves many jobs' cells across one bounded worker set.
+	// Results stay byte-identical either way (pre-indexed slots), so
+	// Pool never affects output, only scheduling.
+	Pool *fleet.Scheduler
 
 	// Obs, when non-nil, is attached to every simulation these params
 	// run (instruments are concurrency-safe, so grid cells may share
@@ -66,8 +74,12 @@ func DefaultRunParams() RunParams {
 	return RunParams{Requests: 3000, Seed: 1, FootprintPages: 1 << 17, Shrink: true}
 }
 
-// buildConfig derives the simulator configuration.
-func (p RunParams) buildConfig(scheme ssd.Scheme, pe int) ssd.Config {
+// BuildConfig derives the simulator configuration these params run a
+// (scheme, P/E) cell under. Exported so the result cache can fold the
+// complete derived configuration — defaults included — into its
+// content address: a change to ssd.DefaultConfig changes the bytes
+// here and therefore the cache key.
+func (p RunParams) BuildConfig(scheme ssd.Scheme, pe int) ssd.Config {
 	cfg := ssd.DefaultConfig(scheme, pe)
 	cfg.Seed = p.Seed
 	cfg.Faults = p.Faults
@@ -76,6 +88,17 @@ func (p RunParams) buildConfig(scheme ssd.Scheme, pe int) ssd.Config {
 		cfg.Geometry.PagesPerBlock = 128
 	}
 	return cfg
+}
+
+// gridMap shards an n-cell study grid: over p.Pool when the caller
+// supplies a shared scheduler, otherwise over a private pool of
+// p.Workers. Every grid study routes through here so the two paths
+// cannot drift.
+func gridMap[T any](p RunParams, n int, fn func(i int) (T, error)) ([]T, error) {
+	if p.Pool != nil {
+		return fleet.MapOn(p.Pool, n, p.Stop, fn)
+	}
+	return fleet.MapStop(n, p.Workers, p.Stop, fn)
 }
 
 // workload instantiates a Table II workload generator.
@@ -101,7 +124,7 @@ func RunOne(p RunParams, scheme ssd.Scheme, workloadName string, pe int) (*ssd.M
 	if err != nil {
 		return nil, err
 	}
-	cfg := p.buildConfig(scheme, pe)
+	cfg := p.BuildConfig(scheme, pe)
 	cfg.Obs = p.Obs
 	cfg.Trace = p.Trace
 	var reg *obs.Registry

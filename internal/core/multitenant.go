@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/fleet"
 	"repro/internal/ssd"
 )
 
@@ -30,9 +29,9 @@ type MultiTenantResult struct {
 // benefit (the FlashShare-style concern the paper's intro cites).
 func MultiTenantStudy(p RunParams, schemes []ssd.Scheme, pe int) ([]MultiTenantResult, error) {
 	names := []string{"Ali124", "Ali2"}
-	return fleet.MapStop(len(schemes), p.Workers, p.Stop, func(i int) (MultiTenantResult, error) {
+	return gridMap(p, len(schemes), func(i int) (MultiTenantResult, error) {
 		scheme := schemes[i]
-		cfg := p.buildConfig(scheme, pe)
+		cfg := p.BuildConfig(scheme, pe)
 		var queues []ssd.HostQueue
 		for _, name := range names {
 			w, err := p.workload(name)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/fleet"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 )
@@ -43,7 +42,7 @@ func AblateRefreshHorizon(p RunParams, scheme ssd.Scheme, pe int) ([]RefreshPoin
 	}
 	usedBytes := float64(spec.FootprintPages) * 16 * 1024
 	horizons := []float64{7, 14, 30, 60, 90}
-	return fleet.MapStop(len(horizons), p.Workers, p.Stop, func(i int) (RefreshPoint, error) {
+	return gridMap(p, len(horizons), func(i int) (RefreshPoint, error) {
 		horizon := horizons[i]
 		s := spec
 		s.MaxAgeDays = horizon
@@ -51,7 +50,7 @@ func AblateRefreshHorizon(p RunParams, scheme ssd.Scheme, pe int) ([]RefreshPoin
 		if err != nil {
 			return RefreshPoint{}, err
 		}
-		cfg := p.buildConfig(scheme, pe)
+		cfg := p.BuildConfig(scheme, pe)
 		dev, err := ssd.New(cfg, w)
 		if err != nil {
 			return RefreshPoint{}, err

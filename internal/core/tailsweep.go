@@ -6,7 +6,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/replay"
@@ -76,7 +75,7 @@ func TailSweep(p RunParams, schemes []ssd.Scheme, workloadName string, pe int, r
 			keys = append(keys, cellKey{s, r})
 		}
 	}
-	return fleet.MapStop(len(keys), p.Workers, p.Stop, func(i int) (TailPoint, error) {
+	return gridMap(p, len(keys), func(i int) (TailPoint, error) {
 		k := keys[i]
 		w, err := p.workload(workloadName)
 		if err != nil {
@@ -86,7 +85,7 @@ func TailSweep(p RunParams, schemes []ssd.Scheme, workloadName string, pe int, r
 		if err != nil {
 			return TailPoint{}, err
 		}
-		cfg := p.buildConfig(k.s, pe)
+		cfg := p.BuildConfig(k.s, pe)
 		cfg.OpenLoop = true
 		cfg.Obs = p.Obs
 		cfg.Trace = p.Trace
@@ -188,7 +187,7 @@ func ReplaySweep(p RunParams, rp ReplayParams) ([]TailPoint, error) {
 	if n == 0 {
 		n = 1
 	}
-	return fleet.MapStop(n, p.Workers, p.Stop, func(i int) (TailPoint, error) {
+	return gridMap(p, n, func(i int) (TailPoint, error) {
 		var (
 			arr  replay.Arrivals
 			rate float64
@@ -210,7 +209,7 @@ func ReplaySweep(p RunParams, rp ReplayParams) ([]TailPoint, error) {
 		if closer != nil {
 			defer closer.Close()
 		}
-		cfg := p.buildConfig(rp.Scheme, rp.PECycles)
+		cfg := p.BuildConfig(rp.Scheme, rp.PECycles)
 		cfg.OpenLoop = true
 		cfg.MaxInFlight = rp.MaxInFlight
 		cfg.Obs = p.Obs

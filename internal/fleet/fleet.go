@@ -19,8 +19,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // ErrStopped is returned by RunStop/MapStop when the stop hook fired
@@ -112,6 +110,11 @@ func Run(n, workers int, fn func(i int) error) error {
 // cells begin — cells already running finish normally. When any cell
 // was skipped and no cell failed, RunStop returns ErrStopped so the
 // caller knows the grid is incomplete.
+//
+// With one worker the cells run inline on the calling goroutine in
+// index order; with more they run on an ephemeral work-stealing
+// Scheduler (long-lived callers with many grids share one via
+// NewScheduler + Scheduler.RunStop instead).
 func RunStop(n, workers int, stop func() bool, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -120,51 +123,29 @@ func RunStop(n, workers int, stop func() bool, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	errs := make([]error, n)
-	var skipped atomic.Bool
-	cell := func(i int) bool {
-		if stop != nil && stop() {
-			skipped.Store(true)
-			return false
-		}
-		errs[i] = safeCall(i, fn)
-		return true
-	}
 	if workers == 1 {
+		errs := make([]error, n)
+		var skipped bool
 		for i := 0; i < n; i++ {
-			if !cell(i) {
+			if stop != nil && stop() {
+				skipped = true
 				break
 			}
+			errs[i] = safeCall(i, fn)
 		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					if !cell(i) {
-						return
-					}
-				}
-			}()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
+		if skipped {
+			return ErrStopped
 		}
+		return nil
 	}
-	if skipped.Load() {
-		return ErrStopped
-	}
-	return nil
+	s := NewScheduler(workers)
+	defer s.Stop()
+	return s.RunStop(n, stop, fn)
 }
 
 // Map runs fn over [0, n) through Run and returns the results in

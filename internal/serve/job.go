@@ -8,6 +8,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
+	"repro/internal/ssd"
 )
 
 // JobSpec is the POSTed description of one experiment job. It is the
@@ -26,9 +28,12 @@ type JobSpec struct {
 	// Seed drives every random stream (0 means the default seed 1 —
 	// pass the explicit seed when replaying a manifest).
 	Seed uint64 `json:"seed,omitempty"`
-	// Workers bounds the fleet pool the job's grid cells shard across
-	// (0 means one per CPU; negative is rejected). Results are
-	// byte-identical for every value.
+	// Workers is accepted for spec compatibility with rifsim but does
+	// not size this server's parallelism: grid cells shard across the
+	// server-wide work-stealing scheduler (Config.CellWorkers), so one
+	// job's width cannot be provisioned against another's. Negative is
+	// rejected; results are byte-identical for every value, which is
+	// also why the value is excluded from the cache key.
 	Workers int `json:"workers,omitempty"`
 	// Full simulates the full 2-TiB array instead of the shrunken one.
 	Full bool `json:"full,omitempty"`
@@ -63,6 +68,15 @@ func (s JobSpec) Params() (core.RunParams, error) {
 	p.Shrink = !s.Full
 	p.Faults = s.Faults
 	if err := p.Validate(); err != nil {
+		return core.RunParams{}, err
+	}
+	// Validate the fully derived device config too, before the job can
+	// occupy a queue slot or mint a cache key: RunParams.Validate
+	// covers the host-side fields, but a spec is only well-formed if
+	// the ssd.Config every cell will run under also validates. The
+	// (scheme, pe) arguments are placeholders — experiments sweep them
+	// per cell over values that never affect validity of the rest.
+	if err := p.BuildConfig(ssd.Zero, 0).Validate(); err != nil {
 		return core.RunParams{}, err
 	}
 	return p, nil
@@ -101,6 +115,10 @@ type Event struct {
 	PE       int    `json:"pe,omitempty"`
 	// Partial marks a cancelled job's flushed manifests as incomplete.
 	Partial bool `json:"partial,omitempty"`
+	// Cached marks a done event served from the result cache: the
+	// job's artifacts are the stored bytes of an earlier identical
+	// run, no simulation was performed.
+	Cached bool `json:"cached,omitempty"`
 	// Error carries the failure on failed events.
 	Error string `json:"error,omitempty"`
 }
@@ -117,8 +135,26 @@ type Job struct {
 	state  State
 	errMsg string
 	report []byte
-	events []Event
-	notify chan struct{}
+	// runsJSON, when non-nil, is the manifest-collection JSON served
+	// verbatim by /runs/{id}: the stored bytes for cache-hit jobs, and
+	// the bytes rendered once at completion for computed jobs. Serving
+	// stored bytes (rather than re-rendering) is what keeps a cache
+	// hit byte-identical to the run that populated it — Manifest.Config
+	// decodes to a map, and re-encoding a map reorders its keys.
+	runsJSON []byte
+	events   []Event
+	notify   chan struct{}
+
+	// fromCache marks a job satisfied from the result cache without
+	// running; cachedCells is the stored collection's run count (the
+	// live collection stays empty).
+	fromCache   bool
+	cachedCells int
+	// key is the job's content address; hasKey guards it (the zero Key
+	// is a valid address). Leader jobs carry it so completion can
+	// populate the cache and clear the single-flight slot.
+	key    resultcache.Key
+	hasKey bool
 
 	// collect gathers the job's per-run manifests; reads are safe at
 	// any time (Collection is internally locked).
@@ -139,6 +175,21 @@ func newJob(id string, spec JobSpec) *Job {
 		collect: obs.NewCollection(),
 	}
 	j.publish(Event{Event: string(Queued), Experiment: spec.Experiment})
+	return j
+}
+
+// newCachedJob materializes a job already satisfied by the result
+// cache: born Done, carrying the stored report and manifest bytes of
+// the identical earlier run, with no simulation behind it. Its event
+// stream is queued -> done(cached), so clients that always stream see
+// a coherent (if brief) lifecycle.
+func newCachedJob(id string, spec JobSpec, e resultcache.Entry) *Job {
+	j := newJob(id, spec)
+	j.report = e.Report
+	j.runsJSON = e.Runs
+	j.fromCache = true
+	j.cachedCells = e.Cells
+	j.setState(Done, Event{Completed: e.Cells, Cached: true})
 	return j
 }
 
@@ -187,6 +238,15 @@ func (j *Job) Report() []byte {
 	return j.report
 }
 
+// runsBytes returns the job's pinned manifest-collection JSON (nil
+// while a computed job is still running — /runs then renders the live
+// collection instead).
+func (j *Job) runsBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.runsJSON
+}
+
 // eventsSince returns events[from:] plus a channel that closes when
 // more arrive; stream readers loop on it.
 func (j *Job) eventsSince(from int) ([]Event, <-chan struct{}) {
@@ -204,6 +264,7 @@ type Status struct {
 	Requests   int     `json:"requests"`
 	Completed  int     `json:"completed"`
 	Partial    bool    `json:"partial,omitempty"`
+	Cached     bool    `json:"cached,omitempty"`
 	Error      string  `json:"error,omitempty"`
 	Links      JobRefs `json:"links"`
 }
@@ -218,14 +279,19 @@ type JobRefs struct {
 // status snapshots the job for the REST views.
 func (j *Job) status() Status {
 	state, errMsg := j.State()
+	completed := j.collect.Len()
+	if j.fromCache {
+		completed = j.cachedCells
+	}
 	return Status{
 		ID:         j.ID,
 		State:      state,
 		Experiment: j.Spec.Experiment,
 		Seed:       j.seed(),
 		Requests:   j.requests(),
-		Completed:  j.collect.Len(),
+		Completed:  completed,
 		Partial:    j.collect.Partial(),
+		Cached:     j.fromCache,
 		Error:      errMsg,
 		Links: JobRefs{
 			Events: "/jobs/" + j.ID + "/events",

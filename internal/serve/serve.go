@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
 )
 
 // Config sizes the service.
@@ -42,11 +43,28 @@ type Config struct {
 	// Labels are added to every /metrics sample (values are escaped
 	// for the exposition format, so hostile strings stay well-formed).
 	Labels map[string]string
+	// CacheBytes bounds the content-addressed result cache. A repeat
+	// submission of an identical effective configuration is answered
+	// from the cache with byte-identical artifacts, and concurrent
+	// identical submissions single-flight onto one computation.
+	// <= 0 disables caching and deduplication entirely (the library
+	// default; cmd/rifserve passes DefaultCacheBytes).
+	CacheBytes int64
+	// CellWorkers sizes the work-stealing scheduler every job's grid
+	// cells share, decoupling job admission (JobWorkers) from
+	// simulation parallelism: a large job's cells interleave with a
+	// small job's instead of monopolizing a private pool. 0 means one
+	// worker per CPU.
+	CellWorkers int
 }
 
 // DefaultQueueDepth bounds the pending-job queue when Config leaves
 // QueueDepth zero.
 const DefaultQueueDepth = 8
+
+// DefaultCacheBytes is the result-cache budget cmd/rifserve uses
+// unless -cache-size overrides it.
+const DefaultCacheBytes = 256 << 20
 
 // Server is the rifserve HTTP service: a bounded job queue, the
 // worker loop draining it, and the REST/streaming views over jobs.
@@ -62,6 +80,19 @@ type Server struct {
 	jobs   map[string]*Job
 	order  []string
 	nextID int
+	// cache/keyer/inflight implement content addressing: cache maps an
+	// address to stored artifacts, keyer canonicalizes specs (its
+	// buffer is reused, so it is guarded by mu), and inflight holds the
+	// leader job computing each address so identical concurrent
+	// submissions attach to it instead of recomputing. All nil/empty
+	// when CacheBytes <= 0.
+	cache    *resultcache.Cache
+	keyer    *resultcache.Keyer
+	inflight map[resultcache.Key]*Job
+
+	// sched is the work-stealing scheduler all jobs' grid cells share;
+	// created in Start, drained in Stop.
+	sched *fleet.Scheduler
 
 	// cellHook, when non-nil, runs synchronously after each cell event
 	// on the job's grid worker goroutine. Tests use it to cancel
@@ -78,6 +109,14 @@ type Server struct {
 	queueDepth *obs.Gauge
 	running    *obs.Gauge
 	jobRuns    *obs.Histogram
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheDedup     *obs.Counter
+	cacheBytes     *obs.Gauge
+	cacheEntries   *obs.Gauge
+	cacheEvictions *obs.Gauge
+	cellSteals     *obs.Gauge
 }
 
 // New builds a stopped server; call Start to begin draining the
@@ -90,7 +129,7 @@ func New(cfg Config) *Server {
 		cfg.JobWorkers = 1
 	}
 	reg := obs.NewRegistry()
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
 		queue:      make(chan *Job, cfg.QueueDepth),
@@ -104,11 +143,27 @@ func New(cfg Config) *Server {
 		queueDepth: reg.Gauge("rifserve_queue_depth"),
 		running:    reg.Gauge("rifserve_jobs_running"),
 		jobRuns:    reg.HistogramWith("rifserve_job_manifests", obs.ExponentialBuckets(1, 2, 10)),
+
+		cacheHits:      reg.Counter("rifserve_cache_hits_total"),
+		cacheMisses:    reg.Counter("rifserve_cache_misses_total"),
+		cacheDedup:     reg.Counter("rifserve_cache_inflight_dedup_total"),
+		cacheBytes:     reg.Gauge("rifserve_cache_bytes"),
+		cacheEntries:   reg.Gauge("rifserve_cache_entries"),
+		cacheEvictions: reg.Gauge("rifserve_cache_evictions"),
+		cellSteals:     reg.Gauge("rifserve_cell_steals"),
 	}
+	if cfg.CacheBytes > 0 {
+		s.cache = resultcache.New(cfg.CacheBytes)
+		s.keyer = resultcache.NewKeyer()
+		s.inflight = map[resultcache.Key]*Job{}
+	}
+	return s
 }
 
-// Start launches the job workers. Safe to call once.
+// Start launches the shared cell scheduler and the job workers. Safe
+// to call once.
 func (s *Server) Start() {
+	s.sched = fleet.NewScheduler(s.cfg.CellWorkers)
 	for w := 0; w < s.cfg.JobWorkers; w++ {
 		s.wg.Add(1)
 		go func() {
@@ -146,6 +201,11 @@ func (s *Server) Stop() {
 			s.finishCancelled(j)
 		default:
 			s.queueDepth.Set(int64(len(s.queue)))
+			if s.sched != nil {
+				// All job workers have returned, so no grid can still
+				// be submitting; release the cell workers.
+				s.sched.Stop()
+			}
 			return
 		}
 	}
@@ -162,12 +222,44 @@ func (s *Server) draining() bool {
 	}
 }
 
-// submit registers and enqueues a job, or reports queue saturation.
-func (s *Server) submit(spec JobSpec) (*Job, bool) {
+// submit resolves a validated spec to a job: a cache hit materializes
+// a Done job from stored bytes, an identical in-flight submission
+// attaches to its leader, and everything else registers and enqueues a
+// new job (or reports queue saturation). p must be the params spec
+// validated to — submit canonicalizes them into the content address.
+func (s *Server) submit(spec JobSpec, p core.RunParams) (*Job, bool) {
 	s.mu.Lock()
+	var key resultcache.Key
+	if s.cache != nil {
+		key = s.keyer.Key(spec.Experiment, p)
+		if e, ok := s.cache.Get(key); ok {
+			s.nextID++
+			id := fmt.Sprintf("job-%d", s.nextID)
+			j := newCachedJob(id, spec, e)
+			s.jobs[id] = j
+			s.order = append(s.order, id)
+			s.mu.Unlock()
+			s.cacheHits.Inc()
+			return j, true
+		}
+		if leader, ok := s.inflight[key]; ok {
+			// Single-flight: N identical concurrent submissions run one
+			// simulation; the other N-1 callers stream the leader's
+			// progress (and share its job ID).
+			s.mu.Unlock()
+			s.cacheDedup.Inc()
+			return leader, true
+		}
+	}
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
 	j := newJob(id, spec)
+	if s.cache != nil {
+		j.key = key
+		j.hasKey = true
+		s.inflight[key] = j
+		s.cacheMisses.Inc()
+	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.mu.Unlock()
@@ -191,8 +283,22 @@ func (s *Server) submit(spec JobSpec) (*Job, bool) {
 			}
 		}
 		s.mu.Unlock()
+		s.clearInflight(j)
 		return nil, false
 	}
+}
+
+// clearInflight releases a leader job's single-flight slot (no-op for
+// jobs without a key, or when a newer leader already replaced it).
+func (s *Server) clearInflight(j *Job) {
+	if !j.hasKey {
+		return
+	}
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
 }
 
 // job looks up a registered job by ID.
@@ -234,6 +340,7 @@ func (s *Server) runJob(j *Job) {
 	})
 	p.Collect = j.collect
 	p.Stop = fleet.StopAny(s.draining, j.cancelled.Load)
+	p.Pool = s.sched
 	j.setState(Running, Event{})
 
 	var report bytes.Buffer
@@ -247,18 +354,49 @@ func (s *Server) runJob(j *Job) {
 	case errors.Is(runErr, fleet.ErrStopped):
 		j.collect.SetPartial(true)
 		s.flush(j)
+		s.clearInflight(j)
 		s.cancelled.Inc()
 		j.setState(Cancelled, Event{Completed: j.collect.Len(), Partial: true})
 	case runErr != nil:
 		s.flush(j)
+		s.clearInflight(j)
 		s.failed.Inc()
 		j.setState(Failed, Event{Error: runErr.Error(), Completed: j.collect.Len()})
 	default:
 		s.flush(j)
+		s.storeResult(j)
 		s.completed.Inc()
 		s.jobRuns.Observe(float64(j.collect.Len()))
 		j.setState(Done, Event{Completed: j.collect.Len()})
 	}
+}
+
+// storeResult renders a completed job's manifest collection once,
+// pins those bytes as the job's /runs response, and populates the
+// result cache under the job's content address before releasing its
+// single-flight slot. Only complete results ever reach the cache:
+// cancelled (partial) and failed jobs release the slot without
+// storing, so a later identical submission recomputes.
+func (s *Server) storeResult(j *Job) {
+	var runs bytes.Buffer
+	if err := obs.WriteJSON(&runs, j.collect); err != nil {
+		// Rendering a collection to a buffer cannot fail short of a
+		// marshalling bug; degrade to uncached rather than taking the
+		// job down with an artifact-plumbing error.
+		s.clearInflight(j)
+		return
+	}
+	j.mu.Lock()
+	j.runsJSON = runs.Bytes()
+	j.mu.Unlock()
+	if s.cache != nil && j.hasKey {
+		s.cache.Put(j.key, resultcache.Entry{
+			Report: j.Report(),
+			Runs:   runs.Bytes(),
+			Cells:  j.collect.Len(),
+		})
+	}
+	s.clearInflight(j)
 }
 
 // finishCancelled marks a job that never ran (drained from the queue
@@ -267,6 +405,7 @@ func (s *Server) runJob(j *Job) {
 func (s *Server) finishCancelled(j *Job) {
 	j.collect.SetPartial(true)
 	s.flush(j)
+	s.clearInflight(j)
 	s.cancelled.Inc()
 	j.setState(Cancelled, Event{Completed: j.collect.Len(), Partial: true})
 }
@@ -319,7 +458,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: bad job spec: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if _, err := spec.Params(); err != nil {
+	p, err := spec.Params()
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -327,7 +467,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: shutting down", http.StatusServiceUnavailable)
 		return
 	}
-	j, ok := s.submit(spec)
+	j, ok := s.submit(spec, p)
 	if !ok {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "serve: job queue full", http.StatusTooManyRequests)
@@ -414,7 +554,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // handleRuns serves the job's manifest collection (the same JSON
 // `rifsim -metrics` writes): complete after Done, the finished cells
 // (marked partial) after cancellation, and whatever has been
-// collected so far while running.
+// collected so far while running. Finished jobs serve the bytes
+// rendered (or cached) at completion verbatim, so a cache hit is
+// byte-identical to the run that populated it.
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
@@ -422,12 +564,28 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if pinned := j.runsBytes(); pinned != nil {
+		w.Write(pinned)
+		return
+	}
 	obs.WriteJSON(w, j.collect)
 }
 
 // handleMetrics serves the server registry in the Prometheus text
-// exposition format with the configured shared labels.
+// exposition format with the configured shared labels. Cache
+// occupancy and scheduler steal counts are sampled into their gauges
+// at scrape time — they live in their own subsystems, not on the
+// request path.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.cache != nil {
+		st := s.cache.Stats()
+		s.cacheBytes.Set(st.Bytes)
+		s.cacheEntries.Set(int64(st.Entries))
+		s.cacheEvictions.Set(st.Evictions)
+	}
+	if sched := s.sched; sched != nil {
+		s.cellSteals.Set(sched.Steals())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.Snapshot().WritePrometheus(w, s.cfg.Labels)
 }
