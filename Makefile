@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race shuffle serve-e2e serve-load-smoke bench bench-smoke chaos-smoke replay-smoke lint fmt-check vet riflint staticcheck govulncheck
+.PHONY: all build test race shuffle serve-e2e serve-load-smoke crash-smoke bench bench-smoke chaos-smoke replay-smoke lint fmt-check vet riflint staticcheck govulncheck
 
 all: build test
 
@@ -44,6 +44,15 @@ serve-e2e:
 # change.
 serve-load-smoke:
 	$(GO) test -race -count=1 -run TestLoadSmoke -v ./cmd/rifload/
+
+# crash-smoke is the end-to-end crash drill under the race detector: a
+# real rifserve process is SIGKILLed mid-grid, a second process on the
+# same store and journal replays the WAL, reruns the interrupted job
+# under its original ID with byte-identical /report and /runs, and
+# serves a resubmission warm from the recovered store. CI runs this on
+# every change.
+crash-smoke:
+	CRASH_SMOKE=1 $(GO) test -race -count=1 -run TestCrashRecoverySmoke -v ./cmd/rifserve/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

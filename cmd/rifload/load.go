@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -46,7 +48,25 @@ type LoadConfig struct {
 	// once, the /report bytes must be identical across submissions, and
 	// the /runs bytes identical modulo the wall_time_s host-noise field.
 	Verify bool
-	// Client overrides the HTTP client (nil means http.DefaultClient).
+	// Timeout bounds each HTTP request, progress stream included; a
+	// request that exceeds it counts as a dropped stream and is retried.
+	// 0 means no timeout. Ignored when Client is set.
+	Timeout time.Duration
+	// Retries bounds the re-submissions attempted per job after a
+	// retryable failure (transport error, 5xx, 429, dropped stream,
+	// cancelled/shed terminal). Resubmission is idempotent: the spec's
+	// content address means a retry hits the cache or joins the
+	// single-flight leader if the first attempt's work survived. 0
+	// disables retry.
+	Retries int
+	// Backoff is the initial retry delay, doubled per attempt with full
+	// jitter, capped at MaxBackoff; a server-sent Retry-After is
+	// honored in preference to this schedule. Zero values default to
+	// 100ms and 5s when Retries > 0.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Client overrides the HTTP client (nil means a client honoring
+	// Timeout).
 	Client *http.Client
 }
 
@@ -66,6 +86,7 @@ type Summary struct {
 	Hits           int64          `json:"hits"`
 	Misses         int64          `json:"misses"`
 	Errors         int64          `json:"errors"`
+	Retries        int64          `json:"retries"`
 	VerifyFailures int64          `json:"verify_failures"`
 	ElapsedS       float64        `json:"elapsed_s"`
 	JobsPerSec     float64        `json:"jobs_per_s"`
@@ -83,9 +104,9 @@ type submission struct {
 // workerResult accumulates one client's counts; merged after the run
 // so the hot path never contends on shared counters.
 type workerResult struct {
-	hits, misses, errors int64
-	lastErr              error
-	sketch               *stats.Sketch
+	hits, misses, errors, retries int64
+	lastErr                       error
+	sketch                        *stats.Sketch
 }
 
 // wallTimeField is the one manifest field that is host noise rather
@@ -132,6 +153,17 @@ func runLoad(cfg LoadConfig) (*Summary, error) {
 			return nil, err
 		}
 	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("rifload: retries %d; want >= 0", cfg.Retries)
+	}
+	if cfg.Retries > 0 {
+		if cfg.Backoff <= 0 {
+			cfg.Backoff = 100 * time.Millisecond
+		}
+		if cfg.MaxBackoff <= 0 {
+			cfg.MaxBackoff = 5 * time.Second
+		}
+	}
 	l := &loader{
 		cfg:        cfg,
 		client:     cfg.Client,
@@ -139,7 +171,10 @@ func runLoad(cfg LoadConfig) (*Summary, error) {
 		runsHash:   map[int][sha256.Size]byte{},
 	}
 	if l.client == nil {
-		l.client = http.DefaultClient
+		// http.Client.Timeout covers the whole exchange including the
+		// NDJSON body, so a stalled stream surfaces as a (retryable)
+		// dropped stream instead of hanging the client forever.
+		l.client = &http.Client{Timeout: cfg.Timeout}
 	}
 
 	jobs := make(chan submission)
@@ -150,10 +185,10 @@ func runLoad(cfg LoadConfig) (*Summary, error) {
 	for c := 0; c < cfg.Clients; c++ {
 		results[c].sketch = stats.NewSketch(0)
 		wg.Add(1)
-		go func(res *workerResult) {
+		go func(idx int, res *workerResult) {
 			defer wg.Done()
-			l.clientLoop(jobs, quit, res)
-		}(&results[c])
+			l.clientLoop(idx, jobs, quit, res)
+		}(c, &results[c])
 	}
 
 	mix := newMix(cfg.Seed)
@@ -183,6 +218,7 @@ func runLoad(cfg LoadConfig) (*Summary, error) {
 		sum.Hits += r.hits
 		sum.Misses += r.misses
 		sum.Errors += r.errors
+		sum.Retries += r.retries
 		if r.lastErr != nil {
 			lastErr = r.lastErr
 		}
@@ -229,7 +265,11 @@ func (l *loader) submission(i int, mix *sim.RNG) submission {
 }
 
 // clientLoop drains submissions until the feed closes or quit fires.
-func (l *loader) clientLoop(jobs <-chan submission, quit <-chan struct{}, res *workerResult) {
+// Each client owns a jitter RNG stream derived from (seed, client
+// index), so back-off delays are decorrelated across clients but the
+// run as a whole is still a function of its seed.
+func (l *loader) clientLoop(idx int, jobs <-chan submission, quit <-chan struct{}, res *workerResult) {
+	jitter := sim.NewRNG(l.cfg.Seed, 0xb0ff+uint64(idx))
 	for {
 		select {
 		case <-quit:
@@ -238,7 +278,7 @@ func (l *loader) clientLoop(jobs <-chan submission, quit <-chan struct{}, res *w
 			if !ok {
 				return
 			}
-			latency, cached, err := l.submitOne(sub)
+			latency, cached, err := l.submitOne(sub, jitter, res)
 			if err != nil {
 				res.errors++
 				res.lastErr = err
@@ -254,15 +294,80 @@ func (l *loader) clientLoop(jobs <-chan submission, quit <-chan struct{}, res *w
 	}
 }
 
-// submitOne posts one spec, follows the NDJSON stream to the terminal
-// event, and returns the client-observed latency and whether the
-// server answered from its result cache.
-func (l *loader) submitOne(sub submission) (time.Duration, bool, error) {
+// permanentErr marks a failure no retry can fix (bad spec, failed job,
+// byte-identity violation); everything else — transport errors, 5xx,
+// 429 backpressure, dropped streams, cancelled/shed terminals — is
+// worth resubmitting, because resubmission is idempotent by content
+// address.
+type permanentErr struct{ err error }
+
+func (p permanentErr) Error() string { return p.err.Error() }
+func (p permanentErr) Unwrap() error { return p.err }
+
+// retryAfterErr carries the server's Retry-After hint alongside a
+// retryable 429.
+type retryAfterErr struct {
+	err   error
+	delay time.Duration
+}
+
+func (r retryAfterErr) Error() string { return r.err.Error() }
+func (r retryAfterErr) Unwrap() error { return r.err }
+
+// submitOne submits one spec, retrying retryable failures with
+// jittered exponential backoff (server Retry-After hints take
+// precedence), and returns the client-observed latency across all
+// attempts and whether the final answer came from the server's cache.
+func (l *loader) submitOne(sub submission, jitter *sim.RNG, res *workerResult) (time.Duration, bool, error) {
 	//riflint:allow wallclock -- client-observed latency of a live HTTP service
 	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		cached, err := l.attempt(sub)
+		if err == nil {
+			//riflint:allow wallclock -- client-observed latency of a live HTTP service
+			return time.Since(start), cached, nil
+		}
+		var perm permanentErr
+		if errors.As(err, &perm) || attempt >= l.cfg.Retries {
+			return 0, false, err
+		}
+		res.retries++
+		//riflint:allow wallclock -- retry back-off against a live HTTP service
+		time.Sleep(l.backoffDelay(attempt, err, jitter))
+	}
+}
+
+// backoffDelay picks the wait before retry attempt+1: the server's
+// Retry-After verbatim when it sent one (capped at MaxBackoff), else
+// full-jitter exponential backoff — U(0, min(Backoff·2^attempt,
+// MaxBackoff)) — so a burst of turned-away clients decorrelates
+// instead of returning in lockstep.
+func (l *loader) backoffDelay(attempt int, err error, jitter *sim.RNG) time.Duration {
+	var ra retryAfterErr
+	if errors.As(err, &ra) && ra.delay > 0 {
+		if ra.delay > l.cfg.MaxBackoff {
+			return l.cfg.MaxBackoff
+		}
+		return ra.delay
+	}
+	d := l.cfg.Backoff
+	for i := 0; i < attempt && d < l.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > l.cfg.MaxBackoff {
+		d = l.cfg.MaxBackoff
+	}
+	return time.Duration(jitter.Float64() * float64(d))
+}
+
+// attempt posts one spec and follows the NDJSON stream to the terminal
+// event. Failures come back classified: permanentErr for outcomes a
+// retry cannot change, retryAfterErr for 429 backpressure carrying the
+// server's hint, and plain errors for everything retryable.
+func (l *loader) attempt(sub submission) (bool, error) {
 	resp, err := l.client.Post(l.cfg.URL+"/jobs", "application/json", strings.NewReader(sub.spec))
 	if err != nil {
-		return 0, false, err
+		return false, err // transport failure: retryable
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -270,29 +375,52 @@ func (l *loader) submitOne(sub submission) (time.Duration, bool, error) {
 		if readErr != nil {
 			body = []byte(readErr.Error())
 		}
-		return 0, false, fmt.Errorf("rifload: submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		err := fmt.Errorf("rifload: submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			delay := time.Duration(0)
+			if secs, atoiErr := strconv.Atoi(resp.Header.Get("Retry-After")); atoiErr == nil && secs > 0 {
+				delay = time.Duration(secs) * time.Second
+			}
+			return false, retryAfterErr{err: err, delay: delay}
+		case resp.StatusCode >= 500:
+			return false, err // includes 503 shutting-down: retryable
+		default:
+			return false, permanentErr{err}
+		}
 	}
 	var last serve.Event
+	sawEvent := false
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
-			return 0, false, fmt.Errorf("rifload: bad event line %q: %w", sc.Text(), err)
+			// A dropped connection tears the final line mid-JSON;
+			// reconnect-and-resubmit rather than giving up.
+			return false, fmt.Errorf("rifload: dropped stream (bad event line %q): %w", sc.Text(), err)
 		}
+		sawEvent = true
 	}
 	if err := sc.Err(); err != nil {
-		return 0, false, err
+		return false, fmt.Errorf("rifload: dropped stream: %w", err)
 	}
-	if last.Event != string(serve.Done) {
-		return 0, false, fmt.Errorf("rifload: job %s ended %q: %s", last.Job, last.Event, last.Error)
+	switch {
+	case !sawEvent || !serve.State(last.Event).Terminal():
+		// The server went away mid-stream without a terminal event.
+		return false, fmt.Errorf("rifload: dropped stream: job %s last event %q", last.Job, last.Event)
+	case last.Event == string(serve.Done):
+	case last.Event == string(serve.Cancelled) || last.Event == string(serve.Shed):
+		// The server drained or stopped under us; the work (if any) is
+		// addressable, so resubmission either hits the cache or reruns.
+		return false, fmt.Errorf("rifload: job %s ended %q", last.Job, last.Event)
+	default:
+		return false, permanentErr{fmt.Errorf("rifload: job %s ended %q: %s", last.Job, last.Event, last.Error)}
 	}
-	//riflint:allow wallclock -- client-observed latency of a live HTTP service
-	latency := time.Since(start)
 	if l.cfg.Verify {
 		if err := l.verify(sub.specID, last.Job); err != nil {
-			return 0, false, err
+			return false, err
 		}
 	}
-	return latency, last.Cached, nil
+	return last.Cached, nil
 }
 
 // verify fetches the job's artifacts and pins them against the first
@@ -322,7 +450,9 @@ func (l *loader) verify(specID int, jobID string) error {
 	}
 	if prevReport != reportSum || l.runsHash[specID] != runsSum {
 		l.verifyFailures++
-		return fmt.Errorf("rifload: job %s artifacts differ from an earlier submission of the same spec", jobID)
+		// Permanent: the pinned hashes will not change, and a retry
+		// would double-count the violation.
+		return permanentErr{fmt.Errorf("rifload: job %s artifacts differ from an earlier submission of the same spec", jobID)}
 	}
 	return nil
 }

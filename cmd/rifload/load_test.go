@@ -1,10 +1,17 @@
 package main
 
 import (
+	"errors"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/serve"
+	"repro/internal/sim"
 )
 
 // newServer starts an in-process rifserve and returns its base URL.
@@ -131,5 +138,184 @@ func TestSubmissionMixDeterministic(t *testing.T) {
 	}
 	if hot == 0 || hot == len(a) {
 		t.Fatalf("mix produced %d/%d hot submissions; want a genuine mix", hot, len(a))
+	}
+}
+
+// flakyServer runs a scripted handler and counts POST /jobs attempts.
+func flakyServer(t *testing.T, handler func(attempt int64, w http.ResponseWriter, r *http.Request)) (string, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler(attempts.Add(1), w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL, &attempts
+}
+
+// doneStream writes the minimal NDJSON lifecycle a submission expects.
+func doneStream(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fmt.Fprintln(w, `{"event":"queued","job":"job-1","experiment":"chaos"}`)
+	fmt.Fprintln(w, `{"event":"done","job":"job-1","completed":12}`)
+}
+
+// TestRetryHonorsRetryAfterBackpressure pins the 429 contract: turned-
+// away submissions wait out the server's Retry-After hint (capped at
+// MaxBackoff) and resubmit until admitted, with the retries counted
+// and no client-visible error.
+func TestRetryHonorsRetryAfterBackpressure(t *testing.T) {
+	url, attempts := flakyServer(t, func(attempt int64, w http.ResponseWriter, _ *http.Request) {
+		if attempt <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "rifload test: queue full", http.StatusTooManyRequests)
+			return
+		}
+		doneStream(w)
+	})
+	sum, err := runLoad(LoadConfig{
+		URL: url, Experiment: "chaos", Requests: 30,
+		Submissions: 1, Clients: 1, Seed: 3,
+		// MaxBackoff caps the server's 1s hint so the test stays fast.
+		Retries: 3, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 0 || sum.Retries != 2 || attempts.Load() != 3 {
+		t.Fatalf("errors=%d retries=%d attempts=%d; want 0/2/3 (last: %s)",
+			sum.Errors, sum.Retries, attempts.Load(), sum.LastError)
+	}
+}
+
+// TestRetryRecoversDroppedStream pins the reconnect-and-resubmit path:
+// a connection torn mid-stream (after a non-terminal event) is
+// retryable, and the resubmission completes the job with zero
+// client-visible errors.
+func TestRetryRecoversDroppedStream(t *testing.T) {
+	url, attempts := flakyServer(t, func(attempt int64, w http.ResponseWriter, _ *http.Request) {
+		if attempt == 1 {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"event":"queued","job":"job-1","experiment":"chaos"}`)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler) // tear the connection mid-stream
+		}
+		doneStream(w)
+	})
+	sum, err := runLoad(LoadConfig{
+		URL: url, Experiment: "chaos", Requests: 30,
+		Submissions: 1, Clients: 1, Seed: 3,
+		Retries: 2, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 0 || sum.Retries != 1 || attempts.Load() != 2 {
+		t.Fatalf("errors=%d retries=%d attempts=%d; want 0/1/2 (last: %s)",
+			sum.Errors, sum.Retries, attempts.Load(), sum.LastError)
+	}
+}
+
+// TestPermanentFailureNotRetried pins the classification boundary: a
+// 4xx rejection is a spec problem no retry can fix — one attempt, one
+// error, zero retries.
+func TestPermanentFailureNotRetried(t *testing.T) {
+	url, attempts := flakyServer(t, func(_ int64, w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "rifload test: bad spec", http.StatusBadRequest)
+	})
+	sum, err := runLoad(LoadConfig{
+		URL: url, Experiment: "chaos", Requests: 30,
+		Submissions: 1, Clients: 1, Seed: 3,
+		Retries: 5, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 1 || sum.Retries != 0 || attempts.Load() != 1 {
+		t.Fatalf("errors=%d retries=%d attempts=%d; want 1/0/1", sum.Errors, sum.Retries, attempts.Load())
+	}
+}
+
+// TestBackoffDelaySchedule pins the delay policy: Retry-After is
+// honored verbatim up to MaxBackoff and capped above it; without a
+// hint the delay is full-jitter exponential — uniform in (0, cap] with
+// the cap doubling per attempt up to MaxBackoff.
+func TestBackoffDelaySchedule(t *testing.T) {
+	l := &loader{cfg: LoadConfig{Backoff: 100 * time.Millisecond, MaxBackoff: time.Second}}
+	jitter := sim.NewRNG(1, 0xb0ff)
+	hint := errors.New("429")
+	if d := l.backoffDelay(0, retryAfterErr{err: hint, delay: 700 * time.Millisecond}, jitter); d != 700*time.Millisecond {
+		t.Fatalf("Retry-After 700ms produced %v", d)
+	}
+	if d := l.backoffDelay(0, retryAfterErr{err: hint, delay: 5 * time.Second}, jitter); d != time.Second {
+		t.Fatalf("Retry-After above cap produced %v, want the 1s cap", d)
+	}
+	for attempt, cap := range map[int]time.Duration{
+		0: 100 * time.Millisecond,
+		1: 200 * time.Millisecond,
+		2: 400 * time.Millisecond,
+		9: time.Second,
+	} {
+		for i := 0; i < 32; i++ {
+			if d := l.backoffDelay(attempt, hint, jitter); d < 0 || d > cap {
+				t.Fatalf("attempt %d delay %v outside [0, %v]", attempt, d, cap)
+			}
+		}
+	}
+}
+
+// TestLoadUnderStorageFaults is the end-to-end acceptance pin: with
+// every storage-fault class injecting at a nonzero rate, a mixed
+// verified workload completes with zero client-visible errors and zero
+// byte-identity violations — persistence degrades, results do not.
+func TestLoadUnderStorageFaults(t *testing.T) {
+	srv := serve.New(serve.Config{
+		QueueDepth: 64,
+		JobWorkers: 2,
+		CacheBytes: serve.DefaultCacheBytes,
+		StoreDir:   t.TempDir(),
+		StorageFaults: faults.StorageConfig{
+			WriteErrorRate: 0.3,
+			TornWriteRate:  0.3,
+			SyncErrorRate:  0.3,
+			BitRotRate:     0.3,
+			SlowIORate:     0.3,
+			SlowIODelayMS:  1,
+		},
+		StorageFaultSeed: 5,
+		Logf:             t.Logf,
+	})
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	sum, err := runLoad(LoadConfig{
+		URL:         ts.URL,
+		Experiment:  "chaos",
+		Requests:    30,
+		Submissions: 10,
+		Clients:     2,
+		HotSpecs:    2,
+		HitRatio:    0.5,
+		Seed:        4,
+		Verify:      true,
+		Timeout:     2 * time.Minute,
+		Retries:     3,
+		Backoff:     time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("load under storage faults had %d errors (last: %s)", sum.Errors, sum.LastError)
+	}
+	if sum.VerifyFailures != 0 {
+		t.Fatalf("byte-identity verification failed %d times under storage faults", sum.VerifyFailures)
+	}
+	if sum.Hits+sum.Misses != int64(sum.Submissions) {
+		t.Fatalf("hits %d + misses %d != submissions %d", sum.Hits, sum.Misses, sum.Submissions)
 	}
 }

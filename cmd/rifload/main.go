@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 func main() {
@@ -41,8 +42,14 @@ func main() {
 	hit := flag.Float64("hit", 0.9, "fraction of submissions drawn from the repeated pool")
 	rate := flag.Float64("rate", 0, "submission arrival rate in jobs/second (0 = unpaced)")
 	arrivals := flag.String("arrivals", "poisson", "arrival process at -rate: poisson or fixed")
-	seed := flag.Uint64("seed", 1, "seed for the hit/miss mix and poisson arrivals")
+	seed := flag.Uint64("seed", 1, "seed for the hit/miss mix, poisson arrivals, and retry jitter")
 	verify := flag.Bool("verify", true, "pin byte-identity of artifacts across submissions of the same spec")
+	timeout := flag.Duration("timeout", 2*time.Minute,
+		"per-request timeout, progress stream included; an exceeded stream counts as dropped and is retried (0 = none)")
+	retries := flag.Int("retries", 4,
+		"re-submissions attempted per job after a retryable failure (transport error, 5xx, 429, dropped stream); 0 disables")
+	backoff := flag.Duration("backoff", 100*time.Millisecond,
+		"initial retry delay, doubled per attempt with full jitter and capped at 5s; a server Retry-After takes precedence")
 	flag.Parse()
 
 	sum, err := runLoad(LoadConfig{
@@ -57,6 +64,9 @@ func main() {
 		Arrivals:    *arrivals,
 		Seed:        *seed,
 		Verify:      *verify,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		Backoff:     *backoff,
 	})
 	if err != nil {
 		//riflint:allow droppederr -- stderr diagnostic on the exit path

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// wallTime matches the one manifest field that is host noise rather
+// than simulation output; masking it pins every other byte.
+var wallTime = regexp.MustCompile(`"wall_time_s": [0-9eE.+-]+`)
+
+func maskWallTime(s string) string {
+	return wallTime.ReplaceAllString(s, `"wall_time_s": 0`)
+}
+
+// smokeEvent is the slice of the event stream the smoke asserts on.
+type smokeEvent struct {
+	Event     string `json:"event"`
+	Job       string `json:"job"`
+	Completed int    `json:"completed"`
+	Partial   bool   `json:"partial"`
+	Cached    bool   `json:"cached"`
+	Error     string `json:"error"`
+}
+
+// startRifserve launches the built binary on an ephemeral port against
+// storeDir and returns the process plus its base URL, parsed from the
+// "listening on" line the server prints once bound.
+func startRifserve(t *testing.T, bin, storeDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-store-dir", storeDir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "rifserve: listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		//riflint:allow droppederr -- best-effort cleanup of a child that never came up
+		cmd.Process.Kill()
+		//riflint:allow droppederr -- the kill above makes Wait's error meaningless
+		cmd.Wait()
+		t.Fatalf("rifserve never announced its address (scan err %v)", sc.Err())
+	}
+	// Keep draining stderr so the child never blocks on a full pipe.
+	go func() {
+		//riflint:allow droppederr -- the pipe closes when the child exits; nothing to recover
+		io.Copy(io.Discard, stderr)
+	}()
+	return cmd, "http://" + addr
+}
+
+// followEvents streams a job's NDJSON events to the end of the stream.
+func followEvents(t *testing.T, client *http.Client, url string) []smokeEvent {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	var events []smokeEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e smokeEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatalf("empty event stream from %s", url)
+	}
+	return events
+}
+
+func getBody(t *testing.T, client *http.Client, url string) string {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCrashRecoverySmoke is the end-to-end crash drill (`make
+// crash-smoke`): a real rifserve process is SIGKILLed mid-grid, a
+// second process on the same store and journal replays the WAL, reruns
+// the interrupted job under its original ID, and serves /report and
+// /runs byte-identical to an uninterrupted run — with the store warm,
+// so a resubmission is answered from cache without simulating.
+//
+// Gated behind CRASH_SMOKE=1: it builds and kills real processes,
+// which is CI-tier work, not unit-test-tier.
+func TestCrashRecoverySmoke(t *testing.T) {
+	if os.Getenv("CRASH_SMOKE") != "1" {
+		t.Skip("set CRASH_SMOKE=1 to run the crash-recovery smoke (make crash-smoke)")
+	}
+	bin := filepath.Join(t.TempDir(), "rifserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	storeDir := filepath.Join(t.TempDir(), "store")
+	spec := `{"experiment":"chaos","requests":40,"seed":21}`
+	// The whole-stream timeout doubles as the wedge detector: a child
+	// that hangs fails the test instead of hanging CI.
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Life 1: submit, then SIGKILL after the second cell — no shutdown
+	// path runs, the journal holds an accepted-but-unresolved job.
+	cmd1, url1 := startRifserve(t, bin, storeDir)
+	resp, err := client.Post(url1+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && cells < 2 {
+		var e smokeEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		if e.Event == "cell" {
+			cells++
+		}
+		if e.Event == "failed" {
+			t.Fatalf("job failed before the kill: %s", e.Error)
+		}
+	}
+	if cells < 2 {
+		t.Fatalf("stream ended after %d cells, before the kill point", cells)
+	}
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	//riflint:allow droppederr -- a SIGKILLed child always reports "signal: killed"
+	cmd1.Wait()
+	resp.Body.Close()
+
+	// Life 2: same dirs. Replay re-enqueues job-1 and recomputes it.
+	cmd2, url2 := startRifserve(t, bin, storeDir)
+	defer func() {
+		//riflint:allow droppederr -- best-effort graceful stop at test end
+		cmd2.Process.Signal(syscall.SIGTERM)
+		//riflint:allow droppederr -- exit status after SIGTERM is not under test
+		cmd2.Wait()
+	}()
+	events := followEvents(t, client, url2+"/jobs/job-1/events")
+	last := events[len(events)-1]
+	if last.Event != "done" || last.Job != "job-1" || last.Partial {
+		t.Fatalf("replayed job ended %+v, want done under its original ID", last)
+	}
+	report := getBody(t, client, url2+"/jobs/job-1/report")
+	runs := getBody(t, client, url2+"/runs/job-1")
+
+	// Uninterrupted baseline, in-process.
+	base := serve.New(serve.Config{QueueDepth: 2, JobWorkers: 1})
+	base.Start()
+	defer base.Stop()
+	bts := httptest.NewServer(base.Handler())
+	defer bts.Close()
+	bresp, err := client.Post(bts.URL+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blast smokeEvent
+	bsc := bufio.NewScanner(bresp.Body)
+	for bsc.Scan() {
+		if err := json.Unmarshal(bsc.Bytes(), &blast); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bresp.Body.Close()
+	if blast.Event != "done" {
+		t.Fatalf("baseline ended %q", blast.Event)
+	}
+	wantReport := getBody(t, client, bts.URL+"/jobs/"+blast.Job+"/report")
+	wantRuns := getBody(t, client, bts.URL+"/runs/"+blast.Job)
+
+	if report != wantReport {
+		t.Error("post-crash report differs from the uninterrupted run")
+	}
+	if maskWallTime(runs) != maskWallTime(wantRuns) {
+		t.Error("post-crash manifests differ from the uninterrupted run (wall_time_s masked)")
+	}
+
+	// The recomputed result reached the store: a resubmission is served
+	// from cache, no simulation behind it.
+	rresp, err := client.Post(url2+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rlast smokeEvent
+	rsc := bufio.NewScanner(rresp.Body)
+	for rsc.Scan() {
+		if err := json.Unmarshal(rsc.Bytes(), &rlast); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rresp.Body.Close()
+	if rlast.Event != "done" || !rlast.Cached {
+		t.Fatalf("post-recovery resubmission not served warm: %+v", rlast)
+	}
+	if rbody := getBody(t, client, url2+"/jobs/"+rlast.Job+"/report"); rbody != wantReport {
+		t.Error("warm-cache report differs from the uninterrupted run")
+	}
+}

@@ -15,13 +15,13 @@ import (
 	"repro/internal/serve"
 )
 
-// TestSigtermDrainsWithPartialManifest exercises the signal half of
-// graceful shutdown with the same wiring main uses: SIGTERM is raised
+// TestSigintStopsWithPartialManifest exercises the hard-stop half of
+// the signal contract with the same wiring main uses: SIGINT is raised
 // against the test process itself, received on a notify channel, and
 // answered with serve.Stop — after which the mid-flight job has
 // flushed exactly one manifest collection marked partial and the
 // service refuses new submissions.
-func TestSigtermDrainsWithPartialManifest(t *testing.T) {
+func TestSigintStopsWithPartialManifest(t *testing.T) {
 	spool := t.TempDir()
 	srv := serve.New(serve.Config{QueueDepth: 2, JobWorkers: 1, SpoolDir: spool})
 	srv.Start()
@@ -29,7 +29,7 @@ func TestSigtermDrainsWithPartialManifest(t *testing.T) {
 	defer ts.Close()
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM)
+	signal.Notify(sigc, syscall.SIGINT)
 	defer signal.Stop(sigc)
 	stopped := make(chan struct{})
 	go func() {
@@ -58,7 +58,7 @@ func TestSigtermDrainsWithPartialManifest(t *testing.T) {
 		}
 		if last.Event == "cell" && !raised {
 			raised = true
-			if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -77,7 +77,7 @@ func TestSigtermDrainsWithPartialManifest(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(names) != 1 {
-		t.Fatalf("spool files after SIGTERM: %v, want exactly one", names)
+		t.Fatalf("spool files after SIGINT: %v, want exactly one", names)
 	}
 	data, err := os.ReadFile(names[0])
 	if err != nil {
@@ -85,6 +85,73 @@ func TestSigtermDrainsWithPartialManifest(t *testing.T) {
 	}
 	if got := strings.Count(string(data), `"partial"`); got != 1 || !strings.Contains(string(data), `"partial": true`) {
 		t.Fatalf(`spool file must say "partial": true exactly once (%d found):`+"\n%s", got, data)
+	}
+
+	resp2, err := http.Post(ts.URL+"/jobs?stream=0", "application/json",
+		strings.NewReader(`{"experiment":"chaos"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after SIGINT: %d, want 503", resp2.StatusCode)
+	}
+}
+
+// TestSigtermDrainsInFlightToCompletion exercises the graceful half:
+// SIGTERM answered with serve.Drain lets the mid-flight job run its
+// whole grid to a complete (non-partial) done while new submissions
+// are refused — the same wiring main installs for SIGTERM.
+func TestSigtermDrainsInFlightToCompletion(t *testing.T) {
+	srv := serve.New(serve.Config{QueueDepth: 2, JobWorkers: 1, StoreDir: t.TempDir()})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-sigc
+		srv.Drain()
+	}()
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"experiment":"chaos","requests":40,"seed":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var last struct {
+		Event     string `json:"event"`
+		Completed int    `json:"completed"`
+		Partial   bool   `json:"partial"`
+	}
+	raised := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		if last.Event == "cell" && !raised {
+			raised = true
+			if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	<-drained
+
+	// The chaos grid is 4 rates x 3 schemes = 12 cells; a drained
+	// in-flight job finishes every one of them.
+	if last.Event != "done" || last.Partial || last.Completed != 12 {
+		t.Fatalf("terminal event %+v, want a complete done", last)
 	}
 
 	resp2, err := http.Post(ts.URL+"/jobs?stream=0", "application/json",

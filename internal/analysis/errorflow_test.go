@@ -6,6 +6,13 @@ func TestErrorFlow(t *testing.T) {
 	runGolden(t, ErrorFlow, "riflint.test/errorflow/basic")
 }
 
+// The persistence tier's durability pattern: dropped or masked
+// fsync/Close errors on a write path are flagged; the atomic-write
+// idiom folding them into one returned error stays silent.
+func TestErrorFlowPersist(t *testing.T) {
+	runGolden(t, ErrorFlow, "riflint.test/errorflow/persist")
+}
+
 // The degradation-ladder idioms (wrap-and-return, store, forward,
 // count) must pass untouched.
 func TestErrorFlowClean(t *testing.T) {

@@ -1,0 +1,58 @@
+// Package persist exercises the errorflow lint on the persistence
+// tier's durability pattern: fsync and Close failures on a write path
+// are the canonical silent-data-loss bugs — the kernel told us the
+// bytes are not durable and the program shrugged. Dropped and masked
+// sync/close errors are flagged; the atomic-write idiom that folds
+// both into one returned error stays silent.
+package persist
+
+import "os"
+
+func droppedSync(f *os.File) {
+	f.Sync() // want `error result of call discarded`
+}
+
+func droppedClose(f *os.File) {
+	f.Close() // want `error result of call discarded`
+}
+
+func blankSync(f *os.File) {
+	_ = f.Sync() // want `error result assigned to _`
+}
+
+func closeMasksSync(f *os.File) error {
+	err := f.Sync()
+	err = f.Close() // want `err overwritten before the previous error was read`
+	return err
+}
+
+func waivedClose(f *os.File) {
+	//riflint:allow droppederr -- fixture: read-only handle, close cannot lose data
+	f.Close()
+}
+
+// durableWrite is the idiom the store and journal use: write, sync,
+// close, with every failure folded into one returned error — nothing
+// to flag.
+func durableWrite(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	return err
+}
+
+// deferredClose stays silent: defers are exempt by design (the read
+// path's deferred close has no durability to lose), and the sync error
+// is returned.
+func deferredClose(f *os.File) error {
+	defer f.Close()
+	return f.Sync()
+}

@@ -1,0 +1,101 @@
+package resultcache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// goldenKeys pins the content address of (experiment,
+// DefaultRunParams) for every valid experiment at SchemaVersion 1.
+// These constants are the cross-restart half of the key invariant: a
+// recompiled, restarted, or different-host process must mint the very
+// same addresses, or a persisted store written by one server life
+// would be unreachable (or worse, mis-addressed) in the next. If a
+// deliberate change to the simulator's output or to the canonical
+// encoding moves these values, bump SchemaVersion and regenerate the
+// table — never hand-patch a single row.
+var goldenKeys = map[string]string{
+	"6":                  "d46814f715aa29a75807f2a4a9052388394710628715312677400d886df6048d",
+	"7":                  "8da8d2bb11d3b5b7841095e95a1f0b506bd3cc490fb9c9c142b2036452c741c8",
+	"8":                  "6f9b8b4c48e5d6e4fdbde95e6b7e34dc87ab25000d9c484d688f9e4f9de1f6fc",
+	"17":                 "12ea44193bffc4920aec38c7f8805299e5c3fb7a5bf1075af0d577f4c66674ea",
+	"18":                 "e45fb50a5a1e042558d7b57c260b89b635567869262d3d96645d926f61e854d7",
+	"19":                 "de321f24385f8dd8a9c85681bdb54fb9c59e8d9892942b42bdef290e1b4a995a",
+	"overhead":           "f556f88a063636ff6c829dc51e0dd2c8a3ccc379009c89dca07ccab838ee3f54",
+	"ablate-chunk":       "e5c2e1c1790963f89f6f0cf822f01591abedec7b570f7ad79854cc07cdcd7037",
+	"ablate-buffer":      "23db6a19a6a2c2592351aca26058229340f2f721ca3fe459cf45780bef261482",
+	"ablate-accuracy":    "a81386a96fd1f2e9df2ccd1f4fd54dbae3495e667c8ba1b44410bd86af8239c7",
+	"ablate-scheduling":  "2395e1e46c1e8198af066e62281f953cab841853c2ca92af63f49371df0c6073",
+	"ablate-secondcheck": "0663331a490fa68175474bd9ad23be4fbb43d427bc83085727cca66bf17b2a23",
+	"refresh":            "f766361d72d8685134f6ceeeb61f1a5a4778f1ea01d88666c5eb14c1440b0a7d",
+	"tenants":            "d028e224809ffc405cd0438587e72df97c7a5704d85eafd6a5e95b20614fa896",
+	"chaos":              "bb19fdcac7ba60b04e75e1a7a4717ae9327ff96bd7aa5e8f59b5763359d413d8",
+	"tailsweep":          "5a784b11118735dc3aed5fbfd8444008fbc2855564c7718da99be15012633d5d",
+}
+
+// TestGoldenKeysCoverEveryExperiment keeps the table and the
+// experiment registry in lockstep.
+func TestGoldenKeysCoverEveryExperiment(t *testing.T) {
+	exps := core.ValidExperiments()
+	if len(goldenKeys) != len(exps) {
+		t.Errorf("golden table has %d rows, registry has %d experiments", len(goldenKeys), len(exps))
+	}
+	for _, exp := range exps {
+		if _, ok := goldenKeys[exp]; !ok {
+			t.Errorf("experiment %q has no golden key", exp)
+		}
+	}
+}
+
+// TestKeyGoldenPerExperiment pins each default-params address to its
+// golden value — the restart-invariance property made executable.
+func TestKeyGoldenPerExperiment(t *testing.T) {
+	k := NewKeyer()
+	for _, exp := range core.ValidExperiments() {
+		if got := k.Key(exp, core.DefaultRunParams()).String(); got != goldenKeys[exp] {
+			t.Errorf("key(%s) = %s, golden %s — if the encoding or simulator output changed on purpose, bump SchemaVersion and regenerate",
+				exp, got, goldenKeys[exp])
+		}
+	}
+}
+
+// TestKeyInvariantAcrossMapOrderAndKeyers is the property half: the
+// address must not depend on evaluation order, on which Keyer instance
+// computes it, or on the goroutine doing the computing. The experiment
+// set is iterated through a Go map — whose order varies per run by
+// construction — from several goroutines with private Keyers, and
+// every computed key must equal the golden table.
+func TestKeyInvariantAcrossMapOrderAndKeyers(t *testing.T) {
+	// A map iteration reorders experiments differently on every run;
+	// each goroutine sees its own order.
+	set := map[string]bool{}
+	for _, exp := range core.ValidExperiments() {
+		set[exp] = true
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			k := NewKeyer() // Keyers are single-goroutine; one each
+			for round := 0; round < 8; round++ {
+				for exp := range set {
+					if got := k.Key(exp, core.DefaultRunParams()).String(); got != goldenKeys[exp] {
+						select {
+						case errs <- exp + ": " + got:
+						default:
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("order-dependent key: %s", e)
+	}
+}

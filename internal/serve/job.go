@@ -85,17 +85,28 @@ func (s JobSpec) Params() (core.RunParams, error) {
 // State is a job's lifecycle position.
 type State string
 
-// Job lifecycle: Queued -> Running -> one of Done, Failed, Cancelled.
+// Job lifecycle: Queued -> Running -> one of Done, Failed, Cancelled,
+// Shed.
 const (
 	Queued    State = "queued"
 	Running   State = "running"
 	Done      State = "done"
 	Failed    State = "failed"
 	Cancelled State = "cancelled"
+	// Shed is the graceful-drain terminal: the job was accepted but the
+	// server began draining before it started. The client should
+	// resubmit against the next server life — resubmission is idempotent
+	// by content address, so it hits the cache or joins the leader if
+	// the work happened after all.
+	Shed State = "shed"
 )
 
-// terminal reports whether the state is final.
-func (s State) terminal() bool { return s == Done || s == Failed || s == Cancelled }
+// Terminal reports whether the state is final. Exported for clients
+// (rifload) that must distinguish a finished stream from a dropped
+// one.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled || s == Shed
+}
 
 // Event is one NDJSON line of a job's progress stream.
 type Event struct {
@@ -164,6 +175,12 @@ type Job struct {
 	// flushOnce guards the spool flush so cancellation racing normal
 	// completion still writes exactly one manifest file.
 	flushOnce sync.Once
+	// journaled marks a job with a durable accept record in the job
+	// journal; its terminal transition appends the matching record so
+	// restart replay can resolve it. Set before the job reaches the
+	// queue (or during single-threaded replay), read by the worker that
+	// receives it — ordered by the channel transfer.
+	journaled bool
 }
 
 func newJob(id string, spec JobSpec) *Job {

@@ -13,14 +13,19 @@ package serve
 
 import (
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/resultcache"
@@ -56,6 +61,35 @@ type Config struct {
 	// small job's instead of monopolizing a private pool. 0 means one
 	// worker per CPU.
 	CellWorkers int
+	// StoreDir, when non-empty, enables the disk tier of the result
+	// cache: completed artifacts are written as content-addressed
+	// files (atomic temp-file + rename + fsync, verified by re-hashing
+	// on read) and survive restarts. Requires nothing else: the memory
+	// cache may be disabled and the store still serves repeats.
+	StoreDir string
+	// JournalPath, when non-empty, enables the write-ahead job
+	// journal: accepted specs are appended (and fsynced) before
+	// admission and completion records after caching, and on restart
+	// the server replays it — completed jobs rematerialize from the
+	// store, incomplete jobs re-enqueue and recompute. Empty defaults
+	// to <StoreDir>/journal.ndjson when StoreDir is set.
+	JournalPath string
+	// StorageFaults injects seeded host-side storage failures (ENOSPC,
+	// torn writes, fsync errors, slow I/O, bit rot) into the store and
+	// journal, driven by StorageFaultSeed. The zero value injects
+	// nothing. Persistence degrades under faults — the server sheds to
+	// memory-only operation with a counter and a warning — but job
+	// results and client-visible bytes are never affected.
+	StorageFaults faults.StorageConfig
+	// StorageFaultSeed seeds the storage-fault injector (0 means 1).
+	StorageFaultSeed uint64
+	// StoreSleep services injected slow-I/O stalls; nil drops them.
+	// cmd/rifserve passes time.Sleep — this package itself stays
+	// wall-clock-free.
+	StoreSleep func(time.Duration)
+	// Logf receives operational warnings (persistence degradation,
+	// replay anomalies). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // DefaultQueueDepth bounds the pending-job queue when Config leaves
@@ -84,11 +118,23 @@ type Server struct {
 	// address to stored artifacts, keyer canonicalizes specs (its
 	// buffer is reused, so it is guarded by mu), and inflight holds the
 	// leader job computing each address so identical concurrent
-	// submissions attach to it instead of recomputing. All nil/empty
-	// when CacheBytes <= 0.
+	// submissions attach to it instead of recomputing. keyer/inflight
+	// exist whenever addressing is needed (memory cache OR disk
+	// store); cache is nil when CacheBytes <= 0.
 	cache    *resultcache.Cache
 	keyer    *resultcache.Keyer
 	inflight map[resultcache.Key]*Job
+
+	// store/journal are the durability tier (nil when disabled):
+	// content-addressed artifacts on disk and the write-ahead job
+	// journal. recovered holds journal-replayed incomplete jobs that
+	// Start re-enqueues. shed marks a graceful Drain in progress:
+	// in-flight grids run to completion and queued jobs end "shed"
+	// instead of "cancelled".
+	store     *resultcache.Store
+	journal   *journal
+	recovered []*Job
+	shed      atomic.Bool
 
 	// sched is the work-stealing scheduler all jobs' grid cells share;
 	// created in Start, drained in Stop.
@@ -117,6 +163,31 @@ type Server struct {
 	cacheEntries   *obs.Gauge
 	cacheEvictions *obs.Gauge
 	cellSteals     *obs.Gauge
+
+	storeHits        *obs.Counter
+	storeErrors      *obs.Counter
+	journalErrors    *obs.Counter
+	recoveredJobs    *obs.Counter
+	shedJobs         *obs.Counter
+	persistDegraded  *obs.Gauge
+	storeQuarantined *obs.Gauge
+	storeVerifyFails *obs.Gauge
+	storeSlowIO      *obs.Gauge
+}
+
+// logf forwards an operational warning to the configured sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// degradePersist records one persistence failure and warns: the
+// failure ladder's bottom rung is memory-only serving, never a panic
+// and never corrupt bytes.
+func (s *Server) degradePersist(what string, err error) {
+	s.persistDegraded.Set(1)
+	s.logf("rifserve: %s failed, shedding to memory-only operation: %v", what, err)
 }
 
 // New builds a stopped server; call Start to begin draining the
@@ -151,17 +222,151 @@ func New(cfg Config) *Server {
 		cacheEntries:   reg.Gauge("rifserve_cache_entries"),
 		cacheEvictions: reg.Gauge("rifserve_cache_evictions"),
 		cellSteals:     reg.Gauge("rifserve_cell_steals"),
+
+		storeHits:        reg.Counter("rifserve_store_hits_total"),
+		storeErrors:      reg.Counter("rifserve_store_errors_total"),
+		journalErrors:    reg.Counter("rifserve_journal_errors_total"),
+		recoveredJobs:    reg.Counter("rifserve_jobs_recovered_total"),
+		shedJobs:         reg.Counter("rifserve_jobs_shed_total"),
+		persistDegraded:  reg.Gauge("rifserve_persist_degraded"),
+		storeQuarantined: reg.Gauge("rifserve_store_quarantined"),
+		storeVerifyFails: reg.Gauge("rifserve_store_verify_failures"),
+		storeSlowIO:      reg.Gauge("rifserve_store_slow_io"),
 	}
-	if cfg.CacheBytes > 0 {
-		s.cache = resultcache.New(cfg.CacheBytes)
+	persist := cfg.StoreDir != "" || cfg.JournalPath != ""
+	if cfg.CacheBytes > 0 || persist {
+		if cfg.CacheBytes > 0 {
+			s.cache = resultcache.New(cfg.CacheBytes)
+		}
 		s.keyer = resultcache.NewKeyer()
 		s.inflight = map[resultcache.Key]*Job{}
+	}
+	if persist {
+		s.openPersistence()
 	}
 	return s
 }
 
-// Start launches the shared cell scheduler and the job workers. Safe
-// to call once.
+// openPersistence wires the disk store and write-ahead journal and
+// replays the journal into registered jobs. Every failure degrades to
+// memory-only operation with a warning — a server that cannot reach
+// its store still boots and serves, it just starts cold.
+func (s *Server) openPersistence() {
+	seed := s.cfg.StorageFaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	inj := faults.NewStorage(s.cfg.StorageFaults, seed)
+	if s.cfg.StoreDir != "" {
+		store, err := resultcache.OpenStore(s.cfg.StoreDir, resultcache.StoreOptions{
+			Faults: inj,
+			Sleep:  s.cfg.StoreSleep,
+		})
+		if err != nil {
+			s.storeErrors.Inc()
+			s.degradePersist("opening result store", err)
+		} else {
+			s.store = store
+		}
+	}
+	path := s.cfg.JournalPath
+	if path == "" {
+		path = filepath.Join(s.cfg.StoreDir, "journal.ndjson")
+	}
+	jr, records, err := openJournal(path, inj)
+	if err != nil {
+		s.journalErrors.Inc()
+		s.degradePersist("opening job journal", fmt.Errorf("%w: %w", errJournalReplay, err))
+		return
+	}
+	s.journal = jr
+	s.replay(records)
+}
+
+// replay folds the journal into the server's job table: done jobs
+// rematerialize from the store under their original IDs (warming the
+// memory cache), incomplete jobs re-register and queue for
+// recomputation, terminal jobs are skipped, and the ID counter
+// advances past everything journaled. Runs in New, before any worker
+// or handler exists, so no locking is needed.
+func (s *Server) replay(records []journalRecord) {
+	st := foldJournal(records)
+	s.nextID = st.maxID
+	for _, id := range st.order {
+		spec := *st.accepted[id]
+		if st.terminal[id] {
+			s.replayDone(id, spec, st.done[id])
+			continue
+		}
+		j := newJob(id, spec)
+		j.journaled = true
+		p, err := spec.Params()
+		if err != nil {
+			// The spec validated when accepted; a journal that replays
+			// an invalid one was tampered with or crosses an
+			// incompatible upgrade. Skip it rather than crash-loop.
+			s.logf("rifserve: journal replay: job %s spec no longer valid, skipping: %v", id, err)
+			continue
+		}
+		if s.keyer != nil {
+			j.key = s.keyer.Key(spec.Experiment, p)
+			j.hasKey = true
+			if _, ok := s.inflight[j.key]; !ok {
+				s.inflight[j.key] = j
+			}
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.recovered = append(s.recovered, j)
+		s.recoveredJobs.Inc()
+	}
+}
+
+// replayDone rematerializes one journaled-complete job from the disk
+// store so its /report and /runs endpoints survive the restart. A
+// missing or corrupt entry only costs the warm start: the client
+// already received its artifacts in the previous life, and a future
+// identical submission recomputes.
+func (s *Server) replayDone(id string, spec JobSpec, rec journalRecord) {
+	if s.store == nil || rec.Op != opDone {
+		return
+	}
+	raw, err := hex.DecodeString(rec.Key)
+	if err != nil || len(raw) != len(resultcache.Key{}) {
+		s.logf("rifserve: journal replay: job %s has malformed store key %q", id, rec.Key)
+		return
+	}
+	var key resultcache.Key
+	copy(key[:], raw)
+	e, ok, err := s.store.Get(key)
+	if err != nil {
+		s.storeErrors.Inc()
+		s.logf("rifserve: journal replay: job %s entry unreadable (serving cold): %v", id, err)
+		return
+	}
+	if !ok {
+		return
+	}
+	if s.cache != nil {
+		s.cache.Put(key, e)
+	}
+	j := newCachedJob(id, spec, e)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.recoveredJobs.Inc()
+}
+
+// appendJournal writes one WAL record, folding any failure into the
+// degradation ladder (counter + warning, journal disables itself).
+func (s *Server) appendJournal(rec journalRecord) {
+	if err := s.journal.append(rec); err != nil {
+		s.journalErrors.Inc()
+		s.degradePersist("journal append", err)
+	}
+}
+
+// Start launches the shared cell scheduler and the job workers, and
+// re-enqueues any journal-replayed incomplete jobs. Safe to call once.
 func (s *Server) Start() {
 	s.sched = fleet.NewScheduler(s.cfg.CellWorkers)
 	for w := 0; w < s.cfg.JobWorkers; w++ {
@@ -179,6 +384,31 @@ func (s *Server) Start() {
 			}
 		}()
 	}
+	if len(s.recovered) == 0 {
+		return
+	}
+	recovered := s.recovered
+	s.recovered = nil
+	s.wg.Add(1)
+	// Replayed jobs feed from their own goroutine: they may outnumber
+	// the queue depth, and blocking Start on a full queue would wedge
+	// startup. A shutdown mid-feed resolves the unfed remainder like any
+	// other queued job.
+	go func() {
+		defer s.wg.Done()
+		for i, j := range recovered {
+			select {
+			case s.queue <- j:
+				s.submitted.Inc()
+				s.queueDepth.Set(int64(len(s.queue)))
+			case <-s.quit:
+				for _, rest := range recovered[i:] {
+					s.finishCancelled(rest)
+				}
+				return
+			}
+		}
+	}()
 }
 
 // Stop drains the service for shutdown: no new jobs start, in-flight
@@ -206,13 +436,48 @@ func (s *Server) Stop() {
 				// be submitting; release the cell workers.
 				s.sched.Stop()
 			}
+			s.closePersist()
 			return
 		}
 	}
 }
 
-// draining reports whether Stop has been requested; it is the
-// server-wide half of every job's grid stop hook.
+// Drain performs graceful shutdown (the SIGTERM path): no new
+// submissions are accepted, in-flight jobs run to completion and are
+// journaled and cached like any other, still-queued jobs end with a
+// terminal "shed" event, and the journal is fsynced closed before
+// return. Blocks until every worker has returned; safe alongside or
+// after Stop (jobs already cancelled keep Stop's semantics).
+func (s *Server) Drain() {
+	s.shed.Store(true)
+	s.once.Do(func() { close(s.quit) })
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.finishCancelled(j)
+		default:
+			s.queueDepth.Set(int64(len(s.queue)))
+			if s.sched != nil {
+				s.sched.Stop()
+			}
+			s.closePersist()
+			return
+		}
+	}
+}
+
+// closePersist fsyncs and closes the journal; idempotent and nil-safe,
+// so both shutdown paths call it unconditionally.
+func (s *Server) closePersist() {
+	if err := s.journal.close(); err != nil {
+		s.journalErrors.Inc()
+		s.logf("rifserve: journal close: %v", err)
+	}
+}
+
+// draining reports whether shutdown (Stop or Drain) has been
+// requested; submissions are refused once it is set.
 func (s *Server) draining() bool {
 	select {
 	case <-s.quit:
@@ -220,6 +485,14 @@ func (s *Server) draining() bool {
 	default:
 		return false
 	}
+}
+
+// stopping is the server-wide half of every grid's stop hook: true
+// once a hard Stop is under way, but false during a graceful Drain —
+// draining lets in-flight grids run to completion while the closed
+// quit channel keeps queued work from starting.
+func (s *Server) stopping() bool {
+	return s.draining() && !s.shed.Load()
 }
 
 // submit resolves a validated spec to a job: a cache hit materializes
@@ -230,17 +503,15 @@ func (s *Server) draining() bool {
 func (s *Server) submit(spec JobSpec, p core.RunParams) (*Job, bool) {
 	s.mu.Lock()
 	var key resultcache.Key
-	if s.cache != nil {
+	if s.keyer != nil {
 		key = s.keyer.Key(spec.Experiment, p)
-		if e, ok := s.cache.Get(key); ok {
-			s.nextID++
-			id := fmt.Sprintf("job-%d", s.nextID)
-			j := newCachedJob(id, spec, e)
-			s.jobs[id] = j
-			s.order = append(s.order, id)
-			s.mu.Unlock()
-			s.cacheHits.Inc()
-			return j, true
+		if s.cache != nil {
+			if e, ok := s.cache.Get(key); ok {
+				j := s.registerCached(spec, e)
+				s.mu.Unlock()
+				s.cacheHits.Inc()
+				return j, true
+			}
 		}
 		if leader, ok := s.inflight[key]; ok {
 			// Single-flight: N identical concurrent submissions run one
@@ -250,11 +521,30 @@ func (s *Server) submit(spec JobSpec, p core.RunParams) (*Job, bool) {
 			s.cacheDedup.Inc()
 			return leader, true
 		}
+		if s.store != nil {
+			e, ok, err := s.store.Get(key)
+			if err != nil {
+				// Verification failed (the entry is already quarantined)
+				// or the read itself erred; the key now reads as absent
+				// and the job recomputes — corrupt bytes are never served.
+				s.storeErrors.Inc()
+				s.logf("rifserve: store read: %v", err)
+			}
+			if ok {
+				if s.cache != nil {
+					s.cache.Put(key, e)
+				}
+				j := s.registerCached(spec, e)
+				s.mu.Unlock()
+				s.storeHits.Inc()
+				return j, true
+			}
+		}
 	}
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
 	j := newJob(id, spec)
-	if s.cache != nil {
+	if s.keyer != nil {
 		j.key = key
 		j.hasKey = true
 		s.inflight[key] = j
@@ -264,6 +554,14 @@ func (s *Server) submit(spec JobSpec, p core.RunParams) (*Job, bool) {
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 
+	// WAL discipline: the accept record is durable before the job can be
+	// admitted, so a crash never leaves accepted work the journal has
+	// never heard of. A rejection appends a terminal record immediately,
+	// so replay will not resurrect a job its client saw refused.
+	if s.journal != nil {
+		j.journaled = true
+		s.appendJournal(journalRecord{Op: opAccept, ID: id, Spec: &j.Spec})
+	}
 	select {
 	case s.queue <- j:
 		s.submitted.Inc()
@@ -284,8 +582,36 @@ func (s *Server) submit(spec JobSpec, p core.RunParams) (*Job, bool) {
 		}
 		s.mu.Unlock()
 		s.clearInflight(j)
+		if j.journaled {
+			s.appendJournal(journalRecord{Op: opRejected, ID: id})
+		}
 		return nil, false
 	}
+}
+
+// registerCached registers a job satisfied without running — a memory-
+// or disk-tier hit. Never journaled: it was never admitted, and its
+// artifacts already live under their content address. Caller holds
+// s.mu.
+func (s *Server) registerCached(spec JobSpec, e resultcache.Entry) *Job {
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	j := newCachedJob(id, spec, e)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j
+}
+
+// retryAfterHint derives the Retry-After a 429 advertises from the
+// current backlog: one second per queued job, floored at one — a crude
+// but monotone signal that a deeper queue warrants a longer back-off.
+// Clients (rifload) prefer it over their own schedule.
+func (s *Server) retryAfterHint() string {
+	n := len(s.queue)
+	if n < 1 {
+		n = 1
+	}
+	return strconv.Itoa(n)
 }
 
 // clearInflight releases a leader job's single-flight slot (no-op for
@@ -339,7 +665,7 @@ func (s *Server) runJob(j *Job) {
 		}
 	})
 	p.Collect = j.collect
-	p.Stop = fleet.StopAny(s.draining, j.cancelled.Load)
+	p.Stop = fleet.StopAny(s.stopping, j.cancelled.Load)
 	p.Pool = s.sched
 	j.setState(Running, Event{})
 
@@ -355,11 +681,17 @@ func (s *Server) runJob(j *Job) {
 		j.collect.SetPartial(true)
 		s.flush(j)
 		s.clearInflight(j)
+		if j.journaled {
+			s.appendJournal(journalRecord{Op: opCancel, ID: j.ID})
+		}
 		s.cancelled.Inc()
 		j.setState(Cancelled, Event{Completed: j.collect.Len(), Partial: true})
 	case runErr != nil:
 		s.flush(j)
 		s.clearInflight(j)
+		if j.journaled {
+			s.appendJournal(journalRecord{Op: opFailed, ID: j.ID, Error: runErr.Error()})
+		}
 		s.failed.Inc()
 		j.setState(Failed, Event{Error: runErr.Error(), Completed: j.collect.Len()})
 	default:
@@ -373,10 +705,13 @@ func (s *Server) runJob(j *Job) {
 
 // storeResult renders a completed job's manifest collection once,
 // pins those bytes as the job's /runs response, and populates the
-// result cache under the job's content address before releasing its
-// single-flight slot. Only complete results ever reach the cache:
-// cancelled (partial) and failed jobs release the slot without
-// storing, so a later identical submission recomputes.
+// result cache (memory and disk tiers) under the job's content
+// address before releasing its single-flight slot. Only complete
+// results ever reach either tier: cancelled (partial) and failed jobs
+// release the slot without storing, so a later identical submission
+// recomputes. The done journal record lands last — after caching —
+// so replay never trusts a completion whose artifacts were not at
+// least attempted on disk.
 func (s *Server) storeResult(j *Job) {
 	var runs bytes.Buffer
 	if err := obs.WriteJSON(&runs, j.collect); err != nil {
@@ -389,23 +724,54 @@ func (s *Server) storeResult(j *Job) {
 	j.mu.Lock()
 	j.runsJSON = runs.Bytes()
 	j.mu.Unlock()
-	if s.cache != nil && j.hasKey {
-		s.cache.Put(j.key, resultcache.Entry{
+	if j.hasKey {
+		e := resultcache.Entry{
 			Report: j.Report(),
 			Runs:   runs.Bytes(),
 			Cells:  j.collect.Len(),
+		}
+		if s.cache != nil {
+			s.cache.Put(j.key, e)
+		}
+		if err := s.store.Put(j.key, e); err != nil {
+			// The artifacts still serve from memory; only durability
+			// across a restart is lost.
+			s.storeErrors.Inc()
+			s.degradePersist("store write", err)
+		}
+	}
+	if j.journaled {
+		s.appendJournal(journalRecord{
+			Op:    opDone,
+			ID:    j.ID,
+			Key:   hex.EncodeToString(j.key[:]),
+			Cells: j.collect.Len(),
 		})
 	}
 	s.clearInflight(j)
 }
 
-// finishCancelled marks a job that never ran (drained from the queue
-// or cancelled before start) and flushes its (empty or partial)
-// collection exactly once.
+// finishCancelled resolves a job that never ran (drained from the
+// queue or cancelled before start) and flushes its (empty or partial)
+// collection exactly once. During a graceful Drain a queued job that
+// was not individually cancelled ends "shed" — the accepted-but-
+// unstarted terminal that tells the client to resubmit — instead of
+// "cancelled".
 func (s *Server) finishCancelled(j *Job) {
 	j.collect.SetPartial(true)
 	s.flush(j)
 	s.clearInflight(j)
+	if s.shed.Load() && !j.cancelled.Load() {
+		if j.journaled {
+			s.appendJournal(journalRecord{Op: opShed, ID: j.ID})
+		}
+		s.shedJobs.Inc()
+		j.setState(Shed, Event{Completed: j.collect.Len(), Partial: true})
+		return
+	}
+	if j.journaled {
+		s.appendJournal(journalRecord{Op: opCancel, ID: j.ID})
+	}
 	s.cancelled.Inc()
 	j.setState(Cancelled, Event{Completed: j.collect.Len(), Partial: true})
 }
@@ -469,13 +835,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, ok := s.submit(spec, p)
 	if !ok {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		http.Error(w, "serve: job queue full", http.StatusTooManyRequests)
 		return
 	}
 	if r.URL.Query().Get("stream") == "0" {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
+		//riflint:allow droppederr -- response write: the client went away, nothing to recover
 		obs.WriteJSON(w, j.status())
 		return
 	}
@@ -495,6 +862,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 		statuses = append(statuses, j.status())
 	}
 	w.Header().Set("Content-Type", "application/json")
+	//riflint:allow droppederr -- response write: the client went away, nothing to recover
 	obs.WriteJSON(w, statuses)
 }
 
@@ -506,6 +874,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	//riflint:allow droppederr -- response write: the client went away, nothing to recover
 	obs.WriteJSON(w, j.status())
 }
 
@@ -519,6 +888,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j.Cancel()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
+	//riflint:allow droppederr -- response write: the client went away, nothing to recover
 	obs.WriteJSON(w, j.status())
 }
 
@@ -543,11 +913,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	state, _ := j.State()
-	if !state.terminal() {
+	if !state.Terminal() {
 		http.Error(w, "serve: job not finished", http.StatusConflict)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	//riflint:allow droppederr -- response write: the client went away, nothing to recover
 	w.Write(j.Report())
 }
 
@@ -565,9 +936,11 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if pinned := j.runsBytes(); pinned != nil {
+		//riflint:allow droppederr -- response write: the client went away, nothing to recover
 		w.Write(pinned)
 		return
 	}
+	//riflint:allow droppederr -- response write: the client went away, nothing to recover
 	obs.WriteJSON(w, j.collect)
 }
 
@@ -586,18 +959,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if sched := s.sched; sched != nil {
 		s.cellSteals.Set(sched.Steals())
 	}
+	if s.store != nil {
+		st := s.store.Stats()
+		s.storeQuarantined.Set(st.Quarantined)
+		s.storeVerifyFails.Set(st.VerifyFailures)
+		s.storeSlowIO.Set(st.SlowIO)
+	}
+	if s.journal.isDegraded() {
+		s.persistDegraded.Set(1)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	//riflint:allow droppederr -- response write: the client went away, nothing to recover
 	s.reg.Snapshot().WritePrometheus(w, s.cfg.Labels)
 }
 
 // handleExperiments lists the experiments a job spec may name.
 func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	//riflint:allow droppederr -- response write: the client went away, nothing to recover
 	obs.WriteJSON(w, core.ValidExperiments())
 }
 
 // handleHealth is the liveness probe.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	//riflint:allow droppederr -- response write: the client went away, nothing to recover
 	fmt.Fprintln(w, "ok")
 }
 
@@ -621,7 +1006,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 		if flusher != nil {
 			flusher.Flush()
 		}
-		if len(events) > 0 && State(events[len(events)-1].Event).terminal() {
+		if len(events) > 0 && State(events[len(events)-1].Event).Terminal() {
 			return
 		}
 		select {
