@@ -145,12 +145,16 @@ func (s *Store) stall() {
 func (s *Store) path(k Key) string { return filepath.Join(s.dir, k.String()) }
 
 // Put durably stores e under k: encode, write to a temp file, fsync,
-// rename over the final name, fsync the directory. Any failure leaves
-// no visible entry (the temp file is removed best-effort) and is
-// returned for the caller to count — the store itself never panics
-// and never exposes a partially written key, except through the
-// injected torn-write fault, whose whole purpose is to prove the read
-// path refuses such a file.
+// rename over the final name, fsync the directory. A failure before
+// the rename leaves no visible entry (the temp file is removed
+// best-effort); a directory-sync failure after the rename can leave
+// the entry visible — its bytes are complete and verified on read,
+// only its durability across a crash is unpromised, which is why the
+// error is still returned and counted so the caller degrades
+// conservatively. The store itself never panics and never exposes a
+// partially written key, except through the injected torn-write
+// fault, whose whole purpose is to prove the read path refuses such a
+// file.
 func (s *Store) Put(k Key, e Entry) error {
 	if s == nil {
 		return nil

@@ -1,7 +1,7 @@
 package serve
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -68,15 +68,26 @@ type journal struct {
 }
 
 // openJournal reads every intact record from path (tolerating a torn
-// final line — the shape a mid-append crash leaves) and opens the file
-// for appending. A missing file is an empty journal.
+// final line — the shape a mid-append crash leaves), truncates any
+// torn tail so it cannot contaminate the next append, and opens the
+// file for appending. A missing file is an empty journal.
 func openJournal(path string, inj *faults.StorageInjector) (*journal, []journalRecord, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, nil, fmt.Errorf("serve: open journal: %w", err)
 	}
-	records, err := readJournal(path)
+	records, keep, size, err := scanJournal(path)
 	if err != nil {
 		return nil, nil, err
+	}
+	if keep < size {
+		// A forgiven torn tail ends the file mid-record. O_APPEND would
+		// concatenate the next append onto that partial line, turning a
+		// recoverable tail into mid-file corruption that fails the NEXT
+		// restart; cut the file back to the last intact record so every
+		// append starts on a fresh line.
+		if err := os.Truncate(path, keep); err != nil {
+			return nil, nil, fmt.Errorf("serve: truncate torn journal tail: %w", err)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
@@ -85,49 +96,52 @@ func openJournal(path string, inj *faults.StorageInjector) (*journal, []journalR
 	return &journal{f: f, inj: inj}, records, nil
 }
 
-// readJournal parses the journal's NDJSON records. Only a torn FINAL
-// line is forgiven (fsync-per-record means the crash can tear at most
-// the last append); garbage earlier in the file is corruption and
-// fails the open, because silently skipping records would un-journal
-// accepted work.
+// readJournal parses the journal's NDJSON records; see scanJournal for
+// the torn-tail contract.
 func readJournal(path string) ([]journalRecord, error) {
-	f, err := os.Open(path)
+	records, _, _, err := scanJournal(path)
+	return records, err
+}
+
+// scanJournal parses the journal's NDJSON records, also reporting the
+// byte offset just past the last intact record (keep) and the file
+// size, so openJournal can truncate a forgiven tail before appending.
+// Only a torn FINAL line is forgiven (fsync-per-record means the crash
+// can tear at most the last append); garbage earlier in the file is
+// corruption and fails the open, because silently skipping records
+// would un-journal accepted work.
+func scanJournal(path string) (records []journalRecord, keep, size int64, err error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, 0, 0, nil
 		}
-		return nil, fmt.Errorf("serve: read journal: %w", err)
+		return nil, 0, 0, fmt.Errorf("serve: read journal: %w", err)
 	}
-	var records []journalRecord
+	size = int64(len(data))
 	var torn bool
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+	for off := 0; off < len(data); {
+		lineEnd := len(data)
+		if nl := bytes.IndexByte(data[off:], '\n'); nl >= 0 {
+			lineEnd = off + nl + 1
+		}
+		line := bytes.TrimSpace(data[off:lineEnd])
+		off = lineEnd
+		if len(line) == 0 {
 			continue
 		}
 		if torn {
-			err = fmt.Errorf("serve: journal %s: corrupt record before end of file", path)
-			break
+			return nil, 0, 0, fmt.Errorf("serve: journal %s: corrupt record before end of file", path)
 		}
 		var rec journalRecord
-		if jsonErr := json.Unmarshal([]byte(line), &rec); jsonErr != nil || rec.Op == "" || rec.ID == "" {
+		if jsonErr := json.Unmarshal(line, &rec); jsonErr != nil || rec.Op == "" || rec.ID == "" {
 			torn = true // forgiven only if nothing follows
 			continue
 		}
 		records = append(records, rec)
+		keep = int64(lineEnd)
 	}
-	if err == nil {
-		err = sc.Err()
-	}
-	if closeErr := f.Close(); err == nil {
-		err = closeErr
-	}
-	if err != nil {
-		return nil, fmt.Errorf("serve: read journal: %w", err)
-	}
-	return records, nil
+	return records, keep, size, nil
 }
 
 // append writes one record and fsyncs it. The first failure degrades

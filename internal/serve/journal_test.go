@@ -108,6 +108,43 @@ func TestJournalTornTailForgiven(t *testing.T) {
 	}
 }
 
+// TestJournalTornTailTruncatedOnReopen pins the repair half of the
+// torn-tail contract: opening a journal whose final line is torn cuts
+// the file back to the last intact record, so the next append starts
+// on a fresh line — without the truncate, the append would concatenate
+// onto the partial record and the NEXT restart would read mid-file
+// garbage and refuse the whole journal.
+func TestJournalTornTailTruncatedOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	valid := journalLine(t, journalRecord{Op: opAccept, ID: "job-1", Spec: &JobSpec{Experiment: "chaos"}})
+	data := append(append([]byte{}, valid...), []byte(`{"op":"accept","id":"job-2","spe`)...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, records, err := openJournal(path, nil)
+	if err != nil {
+		t.Fatalf("torn tail rejected on open: %v", err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("torn journal replayed %d records, want 1", len(records))
+	}
+	if err := j.append(journalRecord{Op: opCancel, ID: "job-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := readJournal(path)
+	if err != nil {
+		t.Fatalf("journal unreadable after append-over-torn-tail: %v", err)
+	}
+	if len(got) != 2 || got[1].Op != opCancel || got[1].ID != "job-1" {
+		t.Fatalf("post-repair journal = %+v, want the intact record plus the new append", got)
+	}
+}
+
 // TestFoldJournal pins replay folding: duplicate accepts ignored,
 // terminal records mark jobs resolved, done records carry their store
 // key, and the ID counter advances past every journaled job.

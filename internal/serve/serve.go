@@ -425,21 +425,13 @@ func (s *Server) Stop() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	for {
-		select {
-		case j := <-s.queue:
-			s.finishCancelled(j)
-		default:
-			s.queueDepth.Set(int64(len(s.queue)))
-			if s.sched != nil {
-				// All job workers have returned, so no grid can still
-				// be submitting; release the cell workers.
-				s.sched.Stop()
-			}
-			s.closePersist()
-			return
-		}
+	s.drainQueue()
+	if s.sched != nil {
+		// All job workers have returned, so no grid can still be
+		// submitting; release the cell workers.
+		s.sched.Stop()
 	}
+	s.closePersist()
 }
 
 // Drain performs graceful shutdown (the SIGTERM path): no new
@@ -452,16 +444,24 @@ func (s *Server) Drain() {
 	s.shed.Store(true)
 	s.once.Do(func() { close(s.quit) })
 	s.wg.Wait()
+	s.drainQueue()
+	if s.sched != nil {
+		s.sched.Stop()
+	}
+	s.closePersist()
+}
+
+// drainQueue resolves every still-queued job with its terminal state
+// (shed during a graceful Drain, cancelled otherwise). Called by both
+// shutdown paths after the workers return, and by a submission that
+// lands its queue send after shutdown already drained.
+func (s *Server) drainQueue() {
 	for {
 		select {
 		case j := <-s.queue:
 			s.finishCancelled(j)
 		default:
 			s.queueDepth.Set(int64(len(s.queue)))
-			if s.sched != nil {
-				s.sched.Stop()
-			}
-			s.closePersist()
 			return
 		}
 	}
@@ -505,40 +505,46 @@ func (s *Server) submit(spec JobSpec, p core.RunParams) (*Job, bool) {
 	var key resultcache.Key
 	if s.keyer != nil {
 		key = s.keyer.Key(spec.Experiment, p)
-		if s.cache != nil {
-			if e, ok := s.cache.Get(key); ok {
-				j := s.registerCached(spec, e)
-				s.mu.Unlock()
-				s.cacheHits.Inc()
-				return j, true
-			}
-		}
-		if leader, ok := s.inflight[key]; ok {
-			// Single-flight: N identical concurrent submissions run one
-			// simulation; the other N-1 callers stream the leader's
-			// progress (and share its job ID).
+		if j, ok := s.memoryTierLocked(spec, key); ok {
 			s.mu.Unlock()
-			s.cacheDedup.Inc()
-			return leader, true
+			return j, true
 		}
-		if s.store != nil {
-			e, ok, err := s.store.Get(key)
-			if err != nil {
-				// Verification failed (the entry is already quarantined)
-				// or the read itself erred; the key now reads as absent
-				// and the job recomputes — corrupt bytes are never served.
-				s.storeErrors.Inc()
-				s.logf("rifserve: store read: %v", err)
+	}
+	s.mu.Unlock()
+
+	if s.keyer != nil && s.store != nil {
+		// The disk-tier read runs outside s.mu: store I/O (and injected
+		// slow-I/O stalls) must never block every other handler on the
+		// job table.
+		e, ok, err := s.store.Get(key)
+		if err != nil {
+			// Verification failed (the entry is already quarantined)
+			// or the read itself erred; the key now reads as absent
+			// and the job recomputes — corrupt bytes are never served.
+			s.storeErrors.Inc()
+			s.logf("rifserve: store read: %v", err)
+		}
+		if ok {
+			s.mu.Lock()
+			if s.cache != nil {
+				s.cache.Put(key, e)
 			}
-			if ok {
-				if s.cache != nil {
-					s.cache.Put(key, e)
-				}
-				j := s.registerCached(spec, e)
-				s.mu.Unlock()
-				s.storeHits.Inc()
-				return j, true
-			}
+			j := s.registerCached(spec, e)
+			s.mu.Unlock()
+			s.storeHits.Inc()
+			return j, true
+		}
+	}
+
+	s.mu.Lock()
+	if s.keyer != nil {
+		// Re-check the memory tiers: an identical submission may have
+		// completed or become leader while the disk read ran unlocked —
+		// without this, two concurrent identical misses would both
+		// become single-flight leaders.
+		if j, ok := s.memoryTierLocked(spec, key); ok {
+			s.mu.Unlock()
+			return j, true
 		}
 	}
 	s.nextID++
@@ -566,6 +572,14 @@ func (s *Server) submit(spec JobSpec, p core.RunParams) (*Job, bool) {
 	case s.queue <- j:
 		s.submitted.Inc()
 		s.queueDepth.Set(int64(len(s.queue)))
+		if s.draining() {
+			// Shutdown may have drained the queue and returned before
+			// this send landed (handleSubmit's draining() check races
+			// close(quit)). Re-drain so the job gets its terminal event
+			// and journal record instead of sitting Queued forever with
+			// a hung NDJSON stream.
+			s.drainQueue()
+		}
 		return j, true
 	default:
 		s.rejected.Inc()
@@ -587,6 +601,27 @@ func (s *Server) submit(spec JobSpec, p core.RunParams) (*Job, bool) {
 		}
 		return nil, false
 	}
+}
+
+// memoryTierLocked resolves a content address against the memory
+// tiers: a cache hit registers and returns a Done job, an identical
+// in-flight submission returns its single-flight leader — N identical
+// concurrent submissions run one simulation; the other N-1 callers
+// stream the leader's progress (and share its job ID). Caller holds
+// s.mu.
+func (s *Server) memoryTierLocked(spec JobSpec, key resultcache.Key) (*Job, bool) {
+	if s.cache != nil {
+		if e, ok := s.cache.Get(key); ok {
+			j := s.registerCached(spec, e)
+			s.cacheHits.Inc()
+			return j, true
+		}
+	}
+	if leader, ok := s.inflight[key]; ok {
+		s.cacheDedup.Inc()
+		return leader, true
+	}
+	return nil, false
 }
 
 // registerCached registers a job satisfied without running — a memory-

@@ -477,3 +477,31 @@ func TestServeCancelEndpoint(t *testing.T) {
 		t.Fatalf("terminal job report: %d", code)
 	}
 }
+
+// TestSubmitAfterShutdownResolvesJob pins the submit/shutdown race: a
+// submission that slips past the handler's draining() check and lands
+// its queue send after Stop has already drained the queue must still
+// reach a terminal state (and re-drain the queue behind itself) — not
+// sit Queued forever with a hung event stream and an unterminated
+// journal accept record.
+func TestSubmitAfterShutdownResolvesJob(t *testing.T) {
+	srv := New(Config{QueueDepth: 2, JobWorkers: 1})
+	srv.Start()
+	srv.Stop() // workers gone, queue drained, quit closed
+
+	spec := JobSpec{Experiment: "chaos", Requests: 40, Seed: 2}
+	p, err := spec.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := srv.submit(spec, p)
+	if !ok {
+		t.Fatal("post-shutdown submission rejected as queue-full, want accepted-then-resolved")
+	}
+	if state, _ := j.State(); state != Cancelled {
+		t.Fatalf("post-shutdown submission ended %q, want cancelled", state)
+	}
+	if n := len(srv.queue); n != 0 {
+		t.Fatalf("%d jobs left in the queue after the late submit resolved", n)
+	}
+}
