@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race shuffle serve-e2e serve-load-smoke crash-smoke bench bench-smoke chaos-smoke replay-smoke lint fmt-check vet riflint staticcheck govulncheck
+.PHONY: all build test race shuffle serve-e2e serve-load-smoke crash-smoke bench bench-smoke chaos-smoke agesweep-smoke replay-smoke lint fmt-check vet riflint staticcheck govulncheck
 
 all: build test
 
@@ -69,6 +69,13 @@ bench-smoke:
 # panic, no race). CI runs this on every change.
 chaos-smoke:
 	$(GO) run -race ./cmd/rifsim -fig chaos -requests 120 -workers 2 -metrics /dev/null
+
+# agesweep-smoke fast-forwards the simulated drive-year end to end
+# under the race detector at a tiny sizing: read disturb accumulates,
+# read-reclaim fires, and per-block state carries across every epoch
+# seeding a fresh device. CI runs this on every change.
+agesweep-smoke:
+	$(GO) run -race ./cmd/rifsim -fig agesweep -requests 120 -workers 2 -metrics /dev/null
 
 # replay-smoke streams a 1M-request open-loop replay under the race
 # detector and asserts the heap high-water mark stays within 4 MiB of

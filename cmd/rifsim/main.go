@@ -14,6 +14,8 @@
 //	rifsim -fig chaos -timeout 30s      # fault-injection sweep; timeout/^C cancel
 //	                                    # cleanly and flush partial manifests
 //	rifsim -fig tailsweep               # open-loop P99.99-vs-intensity sweep
+//	rifsim -fig agesweep                # a simulated drive-year: read disturb,
+//	                                    # read-reclaim and wear, per scheme
 //	rifsim -replay t.csv -rates 10000,20000,50000 -scheme RiFSSD
 //	tracegen -n 1000000 | rifsim -replay - -rate 30000
 //

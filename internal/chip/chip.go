@@ -192,7 +192,7 @@ func (c *Chip) Read(a PageAddr, cond Condition) (*ReadResult, error) {
 	blockID := a.Plane*c.cfg.BlocksPerPlane + a.Block
 
 	sense := func(mode nand.VrefMode) []ldpc.Bits {
-		pageRBER := c.cfg.Model.PageRBER(blockID, pt, cond.PECycles, cond.RetentionDays, cond.Reads, mode)
+		pageRBER := c.cfg.Model.PageRBER(blockID, pt, cond.PECycles, cond.RetentionDays, int64(cond.Reads), mode)
 		out := make([]ldpc.Bits, len(sp.codewords))
 		for i, cw := range sp.codewords {
 			r := c.cfg.Model.ChunkRBER(pageRBER, uint64(c.ppn(a)), i, len(sp.codewords))
@@ -230,7 +230,7 @@ func (c *Chip) ReadConventionalRetry(a PageAddr, cond Condition) (*ReadResult, e
 	}
 	pt := nand.PageTypeOf(a.Page)
 	blockID := a.Plane*c.cfg.BlocksPerPlane + a.Block
-	pageRBER := c.cfg.Model.PageRBER(blockID, pt, cond.PECycles, cond.RetentionDays, cond.Reads, nand.OptimalVref)
+	pageRBER := c.cfg.Model.PageRBER(blockID, pt, cond.PECycles, cond.RetentionDays, int64(cond.Reads), nand.OptimalVref)
 	out := make([]ldpc.Bits, len(sp.codewords))
 	for i, cw := range sp.codewords {
 		r := c.cfg.Model.ChunkRBER(pageRBER, uint64(c.ppn(a)), i, len(sp.codewords))

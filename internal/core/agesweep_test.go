@@ -1,0 +1,114 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ssd"
+)
+
+func TestAgeSweepWorkerCountInvariance(t *testing.T) {
+	schemes := []ssd.Scheme{ssd.Sentinel, ssd.RiF}
+	run := func(workers int) []AgePoint {
+		p := detParams(workers)
+		p.Requests = 120
+		pts, err := AgeSweep(p, schemes, 3, 30, 0.01, "Ali124")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4} {
+		par := run(workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("age sweep differs between workers=1 and workers=%d", workers)
+		}
+		if FormatAgeSweep(seq) != FormatAgeSweep(par) {
+			t.Fatalf("rendered sweep differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+func TestAgeSweepValidation(t *testing.T) {
+	p := detParams(1)
+	cases := []struct {
+		name            string
+		epochs          int
+		epochDays, duty float64
+		workload        string
+	}{
+		{"zero epochs", 0, 30, 0.01, "Ali124"},
+		{"zero epoch days", 3, 0, 0.01, "Ali124"},
+		{"zero duty", 3, 30, 0, "Ali124"},
+		{"duty above one", 3, 30, 1.5, "Ali124"},
+		{"unknown workload", 3, 30, 0.01, "nope"},
+	}
+	for _, c := range cases {
+		if _, err := AgeSweep(p, AgeSweepSchemes(), c.epochs, c.epochDays, c.duty, c.workload); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+// TestAgeSweepAgesTheDrive checks the fast-forward actually ages: P/E
+// wear accumulates monotonically across epochs, each epoch extrapolates
+// reclaims, and the year-end retry rate is clearly above the young
+// drive's — the disturb carried across epochs must matter.
+func TestAgeSweepAgesTheDrive(t *testing.T) {
+	p := detParams(1)
+	p.Requests = 200
+	pts, err := AgeSweep(p, []ssd.Scheme{ssd.Sentinel}, 4, 30.4375, 0.02, "Ali124")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points for 4 epochs", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Reclaims <= 0 {
+			t.Errorf("epoch %d extrapolated no reclaims", i)
+		}
+		if pt.MBps <= 0 {
+			t.Errorf("epoch %d bandwidth %v", i, pt.MBps)
+		}
+		if i > 0 {
+			if pt.AgeDays <= pts[i-1].AgeDays {
+				t.Errorf("age not increasing at epoch %d", i)
+			}
+			if pt.AvgPE < pts[i-1].AvgPE {
+				t.Errorf("wear decreased at epoch %d: %v -> %v", i, pts[i-1].AvgPE, pt.AvgPE)
+			}
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if last.AvgPE <= first.AvgPE {
+		t.Fatalf("a simulated season added no wear: %v -> %v", first.AvgPE, last.AvgPE)
+	}
+	if last.RetryRate <= first.RetryRate {
+		t.Fatalf("aged drive retries no more than young one: %v -> %v",
+			first.RetryRate, last.RetryRate)
+	}
+}
+
+// TestAgeSweepReportDeterministic pins the full dispatcher path the
+// cache and the server rely on: two RunExperiment calls with the same
+// params render byte-identical agesweep reports.
+func TestAgeSweepReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 4-scheme drive-year")
+	}
+	render := func(workers int) string {
+		var b strings.Builder
+		p := detParams(workers)
+		p.Requests = 120
+		if err := RunExperiment(&b, "agesweep", p); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render(1) != render(4) {
+		t.Fatal("agesweep report differs between workers=1 and workers=4")
+	}
+}

@@ -25,7 +25,7 @@ func ValidExperiments() []string {
 		"6", "7", "8", "17", "18", "19", "overhead",
 		"ablate-chunk", "ablate-buffer", "ablate-accuracy",
 		"ablate-scheduling", "ablate-secondcheck",
-		"refresh", "tenants", "chaos", "tailsweep",
+		"refresh", "tenants", "chaos", "tailsweep", "agesweep",
 	}
 }
 
@@ -246,6 +246,35 @@ func RunExperiment(out io.Writer, name string, p RunParams) error {
 		}
 		fmt.Fprintf(out, "\nRiF P99.99 cut vs SENC at %.0f IOPS (sub-saturation): %.1f%% (closed-loop measured 62.7%%, paper Fig. 19 ~91.8%%)\n",
 			rate, 100*gain)
+		return nil
+
+	case "agesweep":
+		pts, err := AgeSweep(p, AgeSweepSchemes(), ageSweepEpochs,
+			ageSweepEpochDays, ageSweepDuty, "Ali124")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Study — drive-age sweep: a simulated drive-year of wear, read disturb and read-reclaim, Ali124")
+		fmt.Fprint(out, FormatAgeSweep(pts))
+		var bw, merr []plot.Series
+		for _, sc := range AgeSweepSchemes() {
+			sb := plot.Series{Name: sc.String()}
+			se := plot.Series{Name: sc.String()}
+			for _, pt := range pts {
+				if pt.Scheme != sc {
+					continue
+				}
+				months := pt.AgeDays / ageSweepEpochDays
+				sb.Points = append(sb.Points, plot.XY{X: months, Y: pt.MBps})
+				se.Points = append(se.Points, plot.XY{X: months, Y: 100 * pt.MediaErrRate})
+			}
+			bw = append(bw, sb)
+			merr = append(merr, se)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, plot.Chart("I/O bandwidth (MB/s) vs drive age (months)", bw, 64, 14))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, plot.Chart("media-error requests (%) vs drive age (months)", merr, 64, 14))
 		return nil
 
 	case "ablate-secondcheck":

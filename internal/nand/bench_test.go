@@ -9,7 +9,7 @@ func BenchmarkPageRBER(b *testing.B) {
 	m := NewDefaultModel(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.PageRBER(i&1023, CSB, 1000, 14, i&255, DefaultVref)
+		m.PageRBER(i&1023, CSB, 1000, 14, int64(i&255), DefaultVref)
 	}
 }
 

@@ -118,6 +118,19 @@ func (g Geometry) BlockID(a Address) int {
 	return ((a.Channel*g.DiesPerChan+a.Die)*g.PlanesPerDie+a.Plane)*g.BlocksPerPlane + a.Block
 }
 
+// BlockAddr inverts BlockID: the coordinates (page 0) of a dense
+// block index, used by per-block background jobs (read-reclaim) to
+// find the die and plane a block lives on.
+func (g Geometry) BlockAddr(id int) Address {
+	block := id % g.BlocksPerPlane
+	id /= g.BlocksPerPlane
+	plane := id % g.PlanesPerDie
+	id /= g.PlanesPerDie
+	die := id % g.DiesPerChan
+	ch := id / g.DiesPerChan
+	return Address{Channel: ch, Die: die, Plane: plane, Block: block}
+}
+
 // DieID flattens (channel, die) into a dense index.
 func (g Geometry) DieID(a Address) int { return a.Channel*g.DiesPerChan + a.Die }
 

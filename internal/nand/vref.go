@@ -26,27 +26,18 @@ func DefaultRetrySequence() []RetryStep {
 // proportional share, mirroring how charge loss scales with the state
 // level. A conventional retry loop evaluates successive offsets from
 // the sequence until the RBER drops below the ECC capability.
-func (m *Model) PageRBERAtOffset(blockID int, pt PageType, pe int, retentionDays float64, reads int, offset float64) float64 {
+func (m *Model) PageRBERAtOffset(blockID int, pt PageType, pe int, retentionDays float64, reads int64, offset float64) float64 {
 	c := m.conditionAt(blockID, pe, retentionDays, reads)
-	rber := 0.0
-	for _, j := range thresholdsOf(pt) {
-		v := m.defaultVref(j) + offset*(0.5+float64(2*j-1)/28)
-		lo := m.stateMean(j-1, c)
-		hi := m.stateMean(j, c)
-		rber += (qFunc((v-lo)/c.sigma) + qFunc((hi-v)/c.sigma)) / 8
-	}
-	rber += m.p.ReadDisturb * float64(reads)
-	if rber > 0.5 {
-		rber = 0.5
-	}
-	return rber
+	return m.rberAcross(pt, c, func(j int) float64 {
+		return m.defaultVref(j) + offset*(0.5+float64(2*j-1)/28)
+	})
 }
 
 // ConventionalRetrySteps reports how many steps of the predetermined
 // retry sequence a conventional controller needs before the page
 // decodes (RBER <= capability), and whether it succeeds within the
 // sequence. This is the NRR a sequence-walking SSD would see.
-func (m *Model) ConventionalRetrySteps(blockID int, pt PageType, pe int, retentionDays float64, reads int) (steps int, ok bool) {
+func (m *Model) ConventionalRetrySteps(blockID int, pt PageType, pe int, retentionDays float64, reads int64) (steps int, ok bool) {
 	if !m.NeedsRetry(blockID, pt, pe, retentionDays, reads, DefaultVref) {
 		return 0, true
 	}
@@ -130,18 +121,10 @@ func (m *Model) fractionAboveWithShift(v, s, sigma float64) float64 {
 // with voltages placed at the optimum implied by an assumed shift.
 func (m *Model) pageRBERWithAssumedShift(blockID int, pt PageType, pe int, retentionDays float64, assumed float64) float64 {
 	c := m.conditionAt(blockID, pe, retentionDays, 0)
-	rber := 0.0
-	for _, j := range thresholdsOf(pt) {
+	return m.rberAcross(pt, c, func(j int) float64 {
 		// Voltage for threshold j assuming top-state shift `assumed`:
 		// midpoint of the two adjacent states under that assumption.
 		mj := func(i int) float64 { return float64(i)*m.p.StateGap - assumed*(0.5+0.5*float64(i)/7) }
-		v := (mj(j-1) + mj(j)) / 2
-		lo := m.stateMean(j-1, c)
-		hi := m.stateMean(j, c)
-		rber += (qFunc((v-lo)/c.sigma) + qFunc((hi-v)/c.sigma)) / 8
-	}
-	if rber > 0.5 {
-		rber = 0.5
-	}
-	return rber
+		return (mj(j-1) + mj(j)) / 2
+	})
 }

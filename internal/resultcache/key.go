@@ -39,7 +39,7 @@ import (
 // changes, or when a field is added to (or removed from) the encoded
 // structs — the reflection guard in key_test.go fails on the latter
 // until both the encoder and this constant move together.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // Key is a SHA-256 content address of one canonicalized run
 // configuration.
@@ -126,6 +126,7 @@ func appendConfig(b []byte, c ssd.Config) []byte {
 	b = appendF64(b, c.SentinelExtraReadProb)
 	b = appendU64(b, uint64(int64(c.MaxRetryRounds)))
 	b = appendU64(b, uint64(int64(c.RetryBackoff)))
+	b = appendU64(b, uint64(c.ReadReclaimThreshold))
 	b = appendFaults(b, c.Faults)
 	b = appendU64(b, uint64(int64(c.GCFreeBlockLow)))
 	b = appendU64(b, uint64(int64(c.WriteCachePages)))
@@ -144,7 +145,9 @@ func appendConfig(b []byte, c ssd.Config) []byte {
 	b = appendF64(b, n.RetentionWiden)
 	b = appendF64(b, n.PEWiden)
 	b = appendF64(b, n.PEShiftBoost)
-	b = appendF64(b, n.ReadDisturb)
+	b = appendF64(b, n.DisturbShift)
+	b = appendF64(b, n.DisturbWiden)
+	b = appendF64(b, n.DisturbExp)
 	b = appendF64(b, n.BlockVarSigma)
 	b = appendF64(b, n.ChunkVar4K)
 	b = appendF64(b, n.TrackedResidual)

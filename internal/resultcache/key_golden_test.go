@@ -8,7 +8,7 @@ import (
 )
 
 // goldenKeys pins the content address of (experiment,
-// DefaultRunParams) for every valid experiment at SchemaVersion 1.
+// DefaultRunParams) for every valid experiment at SchemaVersion 2.
 // These constants are the cross-restart half of the key invariant: a
 // recompiled, restarted, or different-host process must mint the very
 // same addresses, or a persisted store written by one server life
@@ -17,22 +17,23 @@ import (
 // encoding moves these values, bump SchemaVersion and regenerate the
 // table — never hand-patch a single row.
 var goldenKeys = map[string]string{
-	"6":                  "d46814f715aa29a75807f2a4a9052388394710628715312677400d886df6048d",
-	"7":                  "8da8d2bb11d3b5b7841095e95a1f0b506bd3cc490fb9c9c142b2036452c741c8",
-	"8":                  "6f9b8b4c48e5d6e4fdbde95e6b7e34dc87ab25000d9c484d688f9e4f9de1f6fc",
-	"17":                 "12ea44193bffc4920aec38c7f8805299e5c3fb7a5bf1075af0d577f4c66674ea",
-	"18":                 "e45fb50a5a1e042558d7b57c260b89b635567869262d3d96645d926f61e854d7",
-	"19":                 "de321f24385f8dd8a9c85681bdb54fb9c59e8d9892942b42bdef290e1b4a995a",
-	"overhead":           "f556f88a063636ff6c829dc51e0dd2c8a3ccc379009c89dca07ccab838ee3f54",
-	"ablate-chunk":       "e5c2e1c1790963f89f6f0cf822f01591abedec7b570f7ad79854cc07cdcd7037",
-	"ablate-buffer":      "23db6a19a6a2c2592351aca26058229340f2f721ca3fe459cf45780bef261482",
-	"ablate-accuracy":    "a81386a96fd1f2e9df2ccd1f4fd54dbae3495e667c8ba1b44410bd86af8239c7",
-	"ablate-scheduling":  "2395e1e46c1e8198af066e62281f953cab841853c2ca92af63f49371df0c6073",
-	"ablate-secondcheck": "0663331a490fa68175474bd9ad23be4fbb43d427bc83085727cca66bf17b2a23",
-	"refresh":            "f766361d72d8685134f6ceeeb61f1a5a4778f1ea01d88666c5eb14c1440b0a7d",
-	"tenants":            "d028e224809ffc405cd0438587e72df97c7a5704d85eafd6a5e95b20614fa896",
-	"chaos":              "bb19fdcac7ba60b04e75e1a7a4717ae9327ff96bd7aa5e8f59b5763359d413d8",
-	"tailsweep":          "5a784b11118735dc3aed5fbfd8444008fbc2855564c7718da99be15012633d5d",
+	"6":                  "6e5d2d15bfcdd2bbd2bb53cee3b845ca7997e85e1308258805b4b32affb530a9",
+	"7":                  "2462b5353bff8f34436c13e4f7018d272341fc25d2b26c86657cfc9bad104336",
+	"8":                  "58c7c8df3beb6b79d123c330c5f242f8d761eb014bcf3c747a8345e6e6be9fcb",
+	"17":                 "04457d6b67c532da419b4b5340c1f88c1bebe19efdcb6b029c07a362d71e8531",
+	"18":                 "c968cc27916cc9529130cf8ea5196b0c0f8a27fa67a48e8a79c56328069005ca",
+	"19":                 "4e04563cfd396aa482ce17e34d2c98546cedbd6bea3a3c128b62c71f32b9e539",
+	"overhead":           "2fce1d3d6dc8f7f2300c351d69a5545464168f222e891ee13cd2d2397e543f5b",
+	"ablate-chunk":       "9935a48c0be21ec02da9829e4cdf1d0d4c614370ee0464db979245b0298de610",
+	"ablate-buffer":      "6796b14ab21f010e0b06083c82e8943c5afd01a29923d0e0900819321b1aee4f",
+	"ablate-accuracy":    "71c5f62116430f223735e3ab938173dcfd2657bce0bf9a36bc4aa3d3769f2057",
+	"ablate-scheduling":  "b59f58d678fb735a4c74ef162b7c586070be567078414f0940eefeedbd3b59a7",
+	"ablate-secondcheck": "0d1cf3fce1b0a5f8a6ebd45c851c6b25a8b02916ca40ef132d5dfcf57a61f4dd",
+	"refresh":            "cf8e33cf7f22c8807e34ef27c1c5d4d23f51be4ce96957d2c6ad7ddce5c3fd35",
+	"tenants":            "7607e7142360abaf815bd0da789b830d70b56eafb98930a3cb26839236fa0b26",
+	"chaos":              "9267acd827a62ad482f2d4f1556e835a5d6ace3ca8711a3b7b444db0611974d6",
+	"tailsweep":          "72810d3c1e8441664b01cd0076a128c2ee5a426fd4ccec3975530c387d452556",
+	"agesweep":           "a82ae609eff055fdf199f76c41ed04b228f26a6b3f2a86faf0f8a7cfd1c106b8",
 }
 
 // TestGoldenKeysCoverEveryExperiment keeps the table and the

@@ -21,10 +21,10 @@ func TestKeyStructFieldCountsPinned(t *testing.T) {
 		fields int
 	}{
 		{"core.RunParams", reflect.TypeOf(core.RunParams{}), 13},
-		{"ssd.Config", reflect.TypeOf(ssd.Config{}), 24},
+		{"ssd.Config", reflect.TypeOf(ssd.Config{}), 25},
 		{"ssd.Timing", reflect.TypeOf(ssd.Timing{}), 6},
 		{"nand.Geometry", reflect.TypeOf(nand.Geometry{}), 6},
-		{"nand.ModelParams", reflect.TypeOf(nand.ModelParams{}), 10},
+		{"nand.ModelParams", reflect.TypeOf(nand.ModelParams{}), 12},
 		{"faults.Config", reflect.TypeOf(faults.Config{}), 7},
 	}
 	for _, p := range pins {

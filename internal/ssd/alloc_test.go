@@ -31,3 +31,27 @@ func TestPredictFailZeroAlloc(t *testing.T) {
 		t.Fatalf("predictFail allocates %.1f times per call pair; the hot path must be allocation-free", allocs)
 	}
 }
+
+// TestNoteSenseZeroAlloc is the runtime half of the //riflint:hotpath
+// guard on noteSense: the per-read disturb bookkeeping and reclaim
+// threshold check run on every array sense and must not allocate. The
+// reclaim seam is stubbed so the (cold, allocating) migration path
+// behind a threshold crossing stays out of the measurement — riflint's
+// static check stops at the same boundary.
+func TestNoteSenseZeroAlloc(t *testing.T) {
+	s, err := New(DefaultConfig(RiF, 1000), allocStubWorkload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings := 0
+	s.reclaim = func(bid int) {
+		crossings++
+		s.readCounts[bid] = 0
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.noteSense(1)
+		s.noteSense(2)
+	}); allocs != 0 {
+		t.Fatalf("noteSense allocates %.1f times per call pair; the per-sense hot path must be allocation-free", allocs)
+	}
+}

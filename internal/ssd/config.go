@@ -153,6 +153,14 @@ type Config struct {
 	// latency.
 	RetryBackoff sim.Time
 
+	// ReadReclaimThreshold triggers the read-reclaim background job
+	// when a block's sense count since its last erase reaches it: the
+	// block's valid pages migrate elsewhere (competing with GC and
+	// host traffic for die time) and the erase clears the disturb
+	// counter, exactly like a GC-victim erase. Zero disables reclaim
+	// (disturb then accumulates unboundedly, the pre-reclaim model).
+	ReadReclaimThreshold int64
+
 	// Faults configures deterministic fault injection (transient
 	// sense failures, stuck blocks, die dropout, channel corruption,
 	// forced RP misprediction, LDPC decode timeout). The zero value —
@@ -246,6 +254,7 @@ func DefaultConfig(scheme Scheme, peCycles int) Config {
 		ECCBufferSlots:        2,
 		SentinelExtraReadProb: 2.0 / 3.0,
 		MaxRetryRounds:        3,
+		ReadReclaimThreshold:  100_000, // MQSim's default read-reclaim limit
 		GCFreeBlockLow:        2,
 		WriteCachePages:       4096, // 64 MiB of controller DRAM
 		ResumePenalty:         20 * sim.Microsecond,
@@ -292,6 +301,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ssd: resume penalty %v", c.ResumePenalty)
 	case c.RetryBackoff < 0:
 		return fmt.Errorf("ssd: retry backoff %v", c.RetryBackoff)
+	case c.ReadReclaimThreshold < 0:
+		return fmt.Errorf("ssd: read-reclaim threshold %d is negative; use 0 to disable reclaim", c.ReadReclaimThreshold)
 	}
 	// The read path's deepest retry round pays
 	// sim.Time(MaxRetryRounds-1)*RetryBackoff of extra sense time; a

@@ -284,10 +284,24 @@ func (f *FTL) collect(p *planeState) (*GCWork, error) {
 	st := p.blocks[victim]
 	work := &GCWork{Plane: p.addr, VictimBlock: victim, PagesRelocated: len(st.valid), Erases: 1}
 
-	// Relocate valid pages into the cursor chain, in page order: map
-	// iteration order is randomized per run, and the order pages land
-	// on the cursor chain decides the post-GC physical layout (and
-	// thus every later read's timing).
+	if _, err := f.relocateValid(p, st); err != nil {
+		return nil, err
+	}
+	delete(p.blocks, victim)
+	if !f.isRetired(f.planeIndexOfAddr(p.addr), victim) {
+		p.freeBlocks = append([]int{victim}, p.freeBlocks...)
+	}
+	f.gcRuns++
+	f.pagesRelocated += int64(work.PagesRelocated)
+	return work, nil
+}
+
+// relocateValid moves a block's valid pages into the cursor chain, in
+// page order: map iteration order is randomized per run, and the order
+// pages land on the cursor chain decides the post-GC physical layout
+// (and thus every later read's timing). Write timestamps are
+// preserved — relocation does not refresh retention age.
+func (f *FTL) relocateValid(p *planeState, st *blockState) (int, error) {
 	pages := make([]int, 0, len(st.valid))
 	for page := range st.valid {
 		pages = append(pages, page)
@@ -297,7 +311,7 @@ func (f *FTL) collect(p *planeState) (*GCWork, error) {
 		lpn := st.valid[page]
 		if p.cursorBlock < 0 || p.cursorPage >= f.geo.PagesPerBlock {
 			if len(p.freeBlocks) == 0 {
-				return nil, fmt.Errorf("ssd: plane %v wedged during GC", p.addr)
+				return 0, fmt.Errorf("ssd: plane %v wedged during relocation", p.addr)
 			}
 			p.cursorBlock = f.popFreeBlock(p)
 			p.cursorPage = 0
@@ -311,14 +325,40 @@ func (f *FTL) collect(p *planeState) (*GCWork, error) {
 		old := f.written[lpn]
 		f.written[lpn] = mapEntry{addr: addr, writtenAt: old.writtenAt}
 	}
-	delete(p.blocks, victim)
-	if !f.isRetired(f.planeIndexOfAddr(p.addr), victim) {
-		p.freeBlocks = append([]int{victim}, p.freeBlocks...)
-	}
-	f.gcRuns++
-	f.pagesRelocated += int64(work.PagesRelocated)
-	return work, nil
+	return len(pages), nil
 }
+
+// ReclaimBlock migrates a specific write-region block's valid pages
+// and erases it: the read-reclaim path. Unlike collect it does not
+// pick a victim — the caller's disturb counter did — and it does not
+// count into the GC statistics. It returns nil work (no error) when
+// the block is not reclaimable right now: never written, already
+// retired, or no free block to migrate into; the caller's counter
+// reset re-arms the threshold.
+func (f *FTL) ReclaimBlock(a nand.Address) (*GCWork, error) {
+	pIdx := f.planeIndexOfAddr(a)
+	p := &f.planes[pIdx]
+	st, ok := p.blocks[a.Block]
+	if !ok || f.isRetired(pIdx, a.Block) || len(p.freeBlocks) == 0 {
+		return nil, nil
+	}
+	if a.Block == p.cursorBlock {
+		// Reclaiming the open block: close the cursor first so its
+		// pages do not relocate onto themselves.
+		p.cursorBlock = -1
+	}
+	moved, err := f.relocateValid(p, st)
+	if err != nil {
+		return nil, err
+	}
+	delete(p.blocks, a.Block)
+	p.freeBlocks = append([]int{a.Block}, p.freeBlocks...)
+	return &GCWork{Plane: p.addr, VictimBlock: a.Block, PagesRelocated: moved, Erases: 1}, nil
+}
+
+// WriteBase reports the first block index of the write region: blocks
+// below it hold the immutable pre-fill image.
+func (f *FTL) WriteBase() int { return f.writeBase }
 
 // popFreeBlock takes a block from the plane's free list: the
 // least-worn one when wear information is available (dynamic wear

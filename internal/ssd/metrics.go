@@ -142,6 +142,12 @@ type Metrics struct {
 	GCRuns         int64
 	PagesRelocated int64
 
+	// Read-reclaim activity: blocks erased because their sense count
+	// crossed Config.ReadReclaimThreshold, and the valid pages those
+	// erases migrated (or refreshed in place, for pre-fill blocks).
+	ReadReclaims         int64
+	ReclaimPagesMigrated int64
+
 	// Suspensions counts program/erase preemptions by reads
 	// (DieSuspension policy only).
 	Suspensions int64

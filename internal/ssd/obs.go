@@ -92,6 +92,8 @@ func (s *SSD) foldObs() {
 	// Background machinery.
 	reg.Counter("ssd_gc_runs_total").Add(s.m.GCRuns)
 	reg.Counter("ssd_gc_pages_relocated_total").Add(s.m.PagesRelocated)
+	reg.Counter("ssd_read_reclaims_total").Add(s.m.ReadReclaims)
+	reg.Counter("ssd_reclaim_pages_migrated_total").Add(s.m.ReclaimPagesMigrated)
 	reg.Counter("ssd_write_cache_hits_total").Add(s.cache.hits)
 	reg.Counter("ssd_write_cache_stalls_total").Add(s.cache.stalls)
 	reg.Gauge("ssd_write_cache_pages_highwater").SetMax(int64(s.cache.inUseHigh))

@@ -16,6 +16,7 @@ func (s *SSD) readCommand(cmd dieCommand, done func(cmdResult)) {
 	if s.inj.DieDown(dieIdx) {
 		// The die dropped out: the controller's probe sense times out
 		// and every page of the command is reported uncorrectable.
+		s.noteDeadDie(dieIdx)
 		n := len(cmd.lpns)
 		s.m.PageReads += int64(n)
 		s.m.UnrecoveredPages += int64(n)
@@ -62,7 +63,7 @@ func (s *SSD) readCommand(cmd dieCommand, done func(cmdResult)) {
 // readZero is the no-retry hypothetical: every page decodes in one
 // iteration.
 func (s *SSD) readZero(die *dieStation, ch *channelStation, pages []pageView, lbl string, finish func(int)) {
-	die.ReadLabeled(s.senseTime(s.cfg.Timing.TR), lbl, func() {
+	die.ReadLabeled(s.senseTime(s.cfg.Timing.TR, pages), lbl, func() {
 		ch.submit(&xferJob{
 			kind:       xferRead,
 			pages:      len(pages),
@@ -94,7 +95,7 @@ func (s *SSD) readOffChipRetry(die *dieStation, ch *channelStation, pages []page
 			failed = append(failed, p)
 		}
 	}
-	die.ReadLabeled(s.senseTime(s.cfg.Timing.TR), lbl, func() {
+	die.ReadLabeled(s.senseTime(s.cfg.Timing.TR, pages), lbl, func() {
 		ch.submit(&xferJob{
 			kind:       xferRead,
 			pages:      len(pages),
@@ -122,7 +123,10 @@ func (s *SSD) retryOffChip(die *dieStation, ch *channelStation, failed []pageVie
 	s.m.RetryRounds++
 	sense := retrySense + sim.Time(round-1)*s.cfg.RetryBackoff
 	doRetry := func() {
-		die.ReadLabeled(s.senseTime(sense), lbl+"'", func() {
+		// The retry round's re-sense is a real array read of every
+		// still-failing page's block: it disturbs them further.
+		s.noteSenses(failed)
+		die.ReadLabeled(s.senseTime(sense, failed), lbl+"'", func() {
 			rbers := make([]float64, len(failed))
 			var still []pageView
 			uncor := 0
@@ -168,7 +172,8 @@ func (s *SSD) retryOffChip(die *dieStation, ch *channelStation, failed []pageVie
 		// with the sentinel VREF set and shipped to the controller;
 		// the transfer is pure overhead (UNCOR).
 		s.m.SentinelExtraReads += int64(len(failed))
-		die.ReadLabeled(s.senseTime(s.cfg.Timing.TR), lbl, func() {
+		s.noteSenses(failed) // the sentinel-cell read senses the array too
+		die.ReadLabeled(s.senseTime(s.cfg.Timing.TR, failed), lbl, func() {
 			ch.submit(&xferJob{
 				kind:       xferRead,
 				pages:      len(failed),
@@ -213,7 +218,7 @@ func (s *SSD) readRPController(die *dieStation, ch *channelStation, pages []page
 			failed = append(failed, p)
 		}
 	}
-	die.ReadLabeled(s.senseTime(s.cfg.Timing.TR), lbl, func() {
+	die.ReadLabeled(s.senseTime(s.cfg.Timing.TR, pages), lbl, func() {
 		ch.submit(&xferJob{
 			kind:       xferRead,
 			pages:      len(pages),
@@ -250,6 +255,7 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 		if pf {
 			anyRetry = true
 			flagged++
+			s.noteSense(p.blockID) // the RVS re-read senses the block again
 			if p.fails {
 				s.m.AvoidedTransfers++
 			}
@@ -285,6 +291,7 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 				pl.view.rberRetry *= 0.6
 				s.m.AvoidedTransfers++
 				s.m.RVSRereads++
+				s.noteSense(pl.view.blockID) // one more in-die sense
 				secondRetry = true
 			} else {
 				s.m.Mispredictions++
@@ -295,7 +302,7 @@ func (s *SSD) readRiF(die *dieStation, ch *channelStation, pages []pageView, lbl
 		}
 	}
 
-	die.ReadLabeled(s.senseTime(dieTime), lbl, func() {
+	die.ReadLabeled(s.senseTime(dieTime, pages), lbl, func() {
 		rbers := make([]float64, len(plans))
 		uncor := 0
 		var failed []pageView

@@ -51,9 +51,35 @@ type SSD struct {
 	// nothing and costs nothing on the hot paths.
 	inj *faults.Injector
 
-	readCounts  []int32 // per-block read counters (read disturb)
-	eraseCounts []int32 // per-block erase counters (wear on top of PECycles)
-	retired     []bool  // grown-bad blocks retired by the FTL, by block id
+	// reclaim runs the read-reclaim slow path for a threshold-crossing
+	// block; New binds it to reclaimBlock. The indirection is the cold
+	// boundary of the per-sense hot path: the crossing fires once per
+	// ReadReclaimThreshold senses, so the migration machinery behind it
+	// (FTL relocation, die occupancy) may allocate — and tests stub the
+	// seam to observe trigger decisions in isolation.
+	reclaim func(bid int)
+
+	// Per-block counters, by dense block id. readCounts is the disturb
+	// state: every real array sense bumps it via noteSense, and an
+	// erase (GC victim, read-reclaim, retirement, die death) clears it.
+	// grossSenses counts the same senses but is never cleared — the
+	// epoch fast-forward extrapolates from it. int64: a drive-year on a
+	// hot-read trace strands an int32.
+	readCounts    []int64
+	grossSenses   []int64
+	eraseCounts   []int64 // per-block erase counters (wear on top of PECycles)
+	reclaimErases []int64 // the subset of eraseCounts caused by read-reclaim
+	retired       []bool  // grown-bad blocks retired by the FTL, by block id
+
+	// Read-reclaim refresh state of the pre-fill (cold) region: those
+	// blocks are not FTL-managed, so reclaim rewrites them in place and
+	// resolvePages restarts their retention clock from refreshedAt.
+	refreshed   []bool
+	refreshedAt []sim.Time
+
+	// deadDieCleared marks dies whose disturb counters were zeroed on
+	// dropout, so the sweep runs once per die.
+	deadDieCleared []bool
 
 	cache    *writeCache
 	flushers []*dieFlusher
@@ -124,25 +150,39 @@ func New(cfg Config, w Workload) (*SSD, error) {
 	}
 	eng := sim.NewEngine()
 	s := &SSD{
-		cfg:         cfg,
-		eng:         eng,
-		model:       nand.NewModel(cfg.NANDParams, cfg.Seed),
-		dec:         ecc.NewEngine(),
-		acc:         accuracyModelFor(cfg),
-		ftl:         NewFTL(cfg.Geometry),
-		host:        sim.NewResource(eng, "host", 1),
-		predictRNG:  sim.NewRNG(cfg.Seed, 101),
-		sentinelRNG: sim.NewRNG(cfg.Seed, 102),
-		inj:         faults.New(cfg.Faults, cfg.Seed),
-		readCounts:  make([]int32, cfg.Geometry.TotalBlocks()),
-		eraseCounts: make([]int32, cfg.Geometry.TotalBlocks()),
-		retired:     make([]bool, cfg.Geometry.TotalBlocks()),
-		workload:    w,
+		cfg:           cfg,
+		eng:           eng,
+		model:         nand.NewModel(cfg.NANDParams, cfg.Seed),
+		dec:           ecc.NewEngine(),
+		acc:           accuracyModelFor(cfg),
+		ftl:           NewFTL(cfg.Geometry),
+		host:          sim.NewResource(eng, "host", 1),
+		predictRNG:    sim.NewRNG(cfg.Seed, 101),
+		sentinelRNG:   sim.NewRNG(cfg.Seed, 102),
+		inj:           faults.New(cfg.Faults, cfg.Seed),
+		readCounts:    make([]int64, cfg.Geometry.TotalBlocks()),
+		grossSenses:   make([]int64, cfg.Geometry.TotalBlocks()),
+		eraseCounts:   make([]int64, cfg.Geometry.TotalBlocks()),
+		reclaimErases: make([]int64, cfg.Geometry.TotalBlocks()),
+		retired:       make([]bool, cfg.Geometry.TotalBlocks()),
+		refreshed:     make([]bool, cfg.Geometry.TotalBlocks()),
+		refreshedAt:   make([]sim.Time, cfg.Geometry.TotalBlocks()),
+		workload:      w,
 	}
+	s.deadDieCleared = make([]bool, cfg.Geometry.TotalDies())
+	s.reclaim = s.reclaimBlock
 	s.cache = newWriteCache(cfg.WriteCachePages, s.failRun)
 	if cfg.Faults.DieDropoutRate > 0 {
-		// Writes aimed at a dead die fail over to the next live one.
-		s.ftl.DieDown = s.inj.DieDown
+		// Writes aimed at a dead die fail over to the next live one;
+		// the dead die's disturb counters are cleared on first sight so
+		// the re-homed data does not inherit the old blocks' senses.
+		s.ftl.DieDown = func(dieIdx int) bool {
+			down := s.inj.DieDown(dieIdx)
+			if down {
+				s.noteDeadDie(dieIdx)
+			}
+			return down
+		}
 	}
 	// Dynamic wear leveling: allocation prefers the least-erased
 	// free block.
@@ -425,13 +465,20 @@ func (s *SSD) resolvePages(cmd dieCommand) []pageView {
 	views := make([]pageView, 0, len(cmd.lpns))
 	for _, lpn := range cmd.lpns {
 		addr, writtenAt, written := s.ftl.Lookup(lpn)
-		age := s.workload.InitialAgeDays(lpn)
-		if written {
-			age = (s.eng.Now() - writtenAt).Seconds() / 86400
-		}
 		bid := s.cfg.Geometry.BlockID(addr)
-		reads := int(s.readCounts[bid])
-		s.readCounts[bid]++
+		var age float64
+		switch {
+		case written:
+			age = (s.eng.Now() - writtenAt).Seconds() / 86400
+		case s.refreshed[bid]:
+			// Pre-fill block rewritten in place by read-reclaim: its
+			// retention clock restarts at the refresh.
+			age = (s.eng.Now() - s.refreshedAt[bid]).Seconds() / 86400
+		default:
+			age = s.workload.InitialAgeDays(lpn)
+		}
+		reads := s.readCounts[bid]
+		s.noteSense(bid)
 		pt := nand.PageTypeOf(addr.Page)
 		pe := s.cfg.PECycles + int(s.eraseCounts[bid])
 		first := s.model.PageRBER(bid, pt, pe, age, reads, firstMode)
@@ -475,14 +522,155 @@ const stuckRBER = 0.5
 
 // senseTime charges injected transient sense failures on top of a
 // base array-read occupancy: each glitched sense is re-issued at full
-// tR. A no-op (no draw) when the class is off.
-func (s *SSD) senseTime(base sim.Time) sim.Time {
+// tR, and each re-issue is a real array sense, so it disturbs the
+// pages' blocks again. A no-op (no draw) when the class is off.
+func (s *SSD) senseTime(base sim.Time, views []pageView) sim.Time {
 	n := s.inj.SenseRetries()
 	if n > 0 {
 		s.m.Faults.TransientSenseFaults += int64(n)
 		base += sim.Time(n) * s.cfg.Timing.TR
+		for i := 0; i < n; i++ {
+			s.noteSenses(views)
+		}
 	}
 	return base
+}
+
+// noteSense records one real array sense of a block: it advances the
+// disturb state and, when the read-reclaim threshold is crossed,
+// triggers the background migration that resets it. This is the single
+// funnel every sense goes through — first reads, RVS re-reads,
+// retry-ladder re-senses, Sentinel's extra read, and injected-glitch
+// re-issues — so disturb accounting cannot silently miss a path again.
+//
+//riflint:hotpath
+func (s *SSD) noteSense(bid int) {
+	s.grossSenses[bid]++
+	n := s.readCounts[bid] + 1
+	s.readCounts[bid] = n
+	if t := s.cfg.ReadReclaimThreshold; t > 0 && n >= t {
+		s.reclaim(bid)
+	}
+}
+
+// noteSenses records one sense per page view.
+func (s *SSD) noteSenses(views []pageView) {
+	for i := range views {
+		s.noteSense(views[i].blockID)
+	}
+}
+
+// reclaimBlock is the read-reclaim background job for one
+// threshold-crossing block: migrate its valid pages elsewhere, erase
+// it (clearing the disturb counter, exactly like the GC-victim erase),
+// and charge the die with the migration work so reclaim competes with
+// GC and host traffic for die time. Pre-fill (cold-region) blocks are
+// not FTL-managed, so they are refreshed in place instead.
+func (s *SSD) reclaimBlock(bid int) {
+	// The erase clears accumulated disturb whether or not migration
+	// proceeds; a skipped migration (dead die, no free block) simply
+	// re-arms the counter.
+	s.readCounts[bid] = 0
+	if s.retired[bid] {
+		return
+	}
+	addr := s.cfg.Geometry.BlockAddr(bid)
+	dieIdx := s.cfg.Geometry.DieID(addr)
+	if s.inj.DieDown(dieIdx) {
+		return
+	}
+	var work *GCWork
+	if addr.Block < s.ftl.WriteBase() {
+		// Pre-fill block: rewrite in place, restarting its retention
+		// clock from now.
+		work = &GCWork{PagesRelocated: s.cfg.Geometry.PagesPerBlock, Erases: 1}
+		s.refreshed[bid] = true
+		s.refreshedAt[bid] = s.eng.Now()
+	} else {
+		w, err := s.ftl.ReclaimBlock(addr)
+		if err != nil {
+			s.failRun(err)
+			return
+		}
+		if w == nil {
+			return
+		}
+		work = w
+	}
+	s.eraseCounts[bid] += int64(work.Erases)
+	s.reclaimErases[bid] += int64(work.Erases)
+	s.m.ReadReclaims++
+	s.m.ReclaimPagesMigrated += int64(work.PagesRelocated)
+	// Occupy the die with the migration; no completion callback — the
+	// work only delays whatever the die does next.
+	s.dies[dieIdx].Program(s.gcTime(work), nil)
+}
+
+// noteDeadDie zeroes the disturb counters of a dropped-out die once:
+// its array is gone, so re-homed replacement data must not inherit the
+// dead blocks' accumulated senses.
+func (s *SSD) noteDeadDie(dieIdx int) {
+	if s.deadDieCleared[dieIdx] {
+		return
+	}
+	s.deadDieCleared[dieIdx] = true
+	per := s.cfg.Geometry.PlanesPerDie * s.cfg.Geometry.BlocksPerPlane
+	for b := dieIdx * per; b < (dieIdx+1)*per; b++ {
+		s.readCounts[b] = 0
+	}
+}
+
+// BlockCounters is a snapshot of the per-block wear and disturb state,
+// taken with BlockState and replayed into a fresh device with
+// SeedBlockState — the epoch fast-forward mechanism of the drive-age
+// sweep.
+type BlockCounters struct {
+	// Reads is the net disturb counter (senses since last erase).
+	Reads []int64
+	// Senses is the gross sense counter, never cleared by erases.
+	Senses []int64
+	// Erases is the per-block erase counter (wear beyond Config.PECycles).
+	Erases []int64
+	// ReclaimErases is the subset of Erases performed by read-reclaim
+	// during the run (always zero at seed time). The fast-forward needs
+	// the split: reclaim wear is re-derived analytically from the gross
+	// sense rate, so scaling it again would double-count it.
+	ReclaimErases []int64
+}
+
+// BlockState snapshots the per-block counters.
+func (s *SSD) BlockState() BlockCounters {
+	c := BlockCounters{
+		Reads:         make([]int64, len(s.readCounts)),
+		Senses:        make([]int64, len(s.grossSenses)),
+		Erases:        make([]int64, len(s.eraseCounts)),
+		ReclaimErases: make([]int64, len(s.reclaimErases)),
+	}
+	copy(c.Reads, s.readCounts)
+	copy(c.Senses, s.grossSenses)
+	copy(c.Erases, s.eraseCounts)
+	copy(c.ReclaimErases, s.reclaimErases)
+	return c
+}
+
+// SeedBlockState loads residual per-block disturb (reads) and wear
+// (erases) into a freshly built device, before Run. Either slice may
+// be nil to leave that counter at zero.
+func (s *SSD) SeedBlockState(reads, erases []int64) error {
+	n := s.cfg.Geometry.TotalBlocks()
+	if reads != nil {
+		if len(reads) != n {
+			return fmt.Errorf("ssd: SeedBlockState reads length %d, want %d", len(reads), n)
+		}
+		copy(s.readCounts, reads)
+	}
+	if erases != nil {
+		if len(erases) != n {
+			return fmt.Errorf("ssd: SeedBlockState erases length %d, want %d", len(erases), n)
+		}
+		copy(s.eraseCounts, erases)
+	}
+	return nil
 }
 
 // decodeTimeout draws one page's injected LDPC decode-timeout fault.
@@ -508,6 +696,7 @@ func (s *SSD) retireBlock(p pageView) {
 		return
 	}
 	s.retired[p.blockID] = true
+	s.readCounts[p.blockID] = 0 // retirement erases the block
 	s.m.Faults.GrownBadBlocks++
 	s.ftl.RetireBlock(p.addr)
 }
